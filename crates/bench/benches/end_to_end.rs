@@ -1,0 +1,45 @@
+//! Criterion bench: the end-to-end estimation flow at reduced scale —
+//! golden run + features + partial campaign + training + prediction
+//! (what a user of the methodology actually pays per circuit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ffr_circuits::{Mac10geConfig, MacJudge, MacTestbench, TrafficConfig};
+use ffr_core::{EstimationFlow, FlowConfig, ModelKind};
+use ffr_sim::GoldenRun;
+
+fn bench_flow(c: &mut Criterion) {
+    let (cc, tb, watch, extractor) =
+        MacTestbench::setup(Mac10geConfig::small(), &TrafficConfig::small());
+    let golden = GoldenRun::capture(&cc, &tb, &watch);
+    let judge = MacJudge::new(extractor, &golden);
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("flow_setup_golden_plus_features", |b| {
+        b.iter(|| {
+            let flow = EstimationFlow::new(&cc, &tb, &watch, &judge);
+            std::hint::black_box(flow.features().num_rows())
+        });
+    });
+
+    let flow = EstimationFlow::new(&cc, &tb, &watch, &judge);
+    for kind in [ModelKind::Knn, ModelKind::DecisionTree] {
+        let config = FlowConfig {
+            training_fraction: 0.3,
+            injections_per_ff: 8,
+            window: tb.injection_window(),
+            seed: 7,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("estimate_30pct", kind.display_name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| std::hint::black_box(flow.estimate(kind, &config).circuit_fdr()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

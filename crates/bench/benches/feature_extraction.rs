@@ -1,0 +1,40 @@
+//! Criterion bench: per-flip-flop feature extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffr_circuits::{Mac10ge, Mac10geConfig, MacTestbench, TrafficConfig};
+use ffr_features::{extract_features, extract_structural, FfGraph};
+use ffr_sim::{run_testbench, CompiledCircuit};
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_extraction");
+    group.sample_size(20);
+    for (name, cfg) in [
+        ("mac_small", Mac10geConfig::small()),
+        ("mac_paper", Mac10geConfig::default()),
+    ] {
+        let mac = Mac10ge::build(cfg.clone());
+        let cc = CompiledCircuit::compile(mac.into_netlist()).unwrap();
+        group.throughput(Throughput::Elements(cc.num_ffs() as u64));
+        group.bench_with_input(BenchmarkId::new("structural", name), &cc, |b, cc| {
+            b.iter(|| std::hint::black_box(extract_structural(cc).num_rows()));
+        });
+        group.bench_with_input(BenchmarkId::new("ff_graph", name), &cc, |b, cc| {
+            b.iter(|| std::hint::black_box(FfGraph::build(cc.netlist()).num_ffs()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_extraction_with_activity(c: &mut Criterion) {
+    let (cc, tb, watch, _) = MacTestbench::setup(Mac10geConfig::small(), &TrafficConfig::small());
+    let run = run_testbench(&cc, &tb, &watch);
+    let mut group = c.benchmark_group("feature_extraction_full");
+    group.sample_size(20);
+    group.bench_function("mac_small_all_25_features", |b| {
+        b.iter(|| std::hint::black_box(extract_features(&cc, &run.activity).num_rows()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_full_extraction_with_activity);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench: fit/predict cost of every regression model on a
+//! paper-sized synthetic dataset (1054 samples × 25 features).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ffr_core::ModelKind;
+use ffr_ml::Regressor;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn synthetic(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| ((r[0] * r[1] * 2.0).min(1.0) * (1.0 - r[2] * 0.3)).clamp(0.0, 1.0))
+        .collect();
+    (x, y)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let (x, y) = synthetic(527, 25); // 50% training size of 1054
+    let mut group = c.benchmark_group("model_fit");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        // The MLP dominates runtime; skip it here (it has its own bench).
+        if kind == ModelKind::Mlp {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.display_name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut m = kind.build();
+                    m.fit(&x, &y);
+                    std::hint::black_box(m.predict_one(&x[0]))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (x, y) = synthetic(527, 25);
+    let (qx, _) = synthetic(527, 25);
+    let mut group = c.benchmark_group("model_predict_527");
+    group.sample_size(10);
+    for kind in [ModelKind::LinearLeastSquares, ModelKind::Knn, ModelKind::SvrRbf] {
+        let mut m = kind.build();
+        m.fit(&x, &y);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.display_name()),
+            &m,
+            |b, m| {
+                b.iter(|| std::hint::black_box(m.predict(&qx).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

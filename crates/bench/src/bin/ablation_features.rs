@@ -1,0 +1,58 @@
+//! Extension — feature-group ablation.
+//!
+//! The paper's future work calls for evaluating "the value of each
+//! feature". This experiment retrains the k-NN model on each feature
+//! group (structural / synthesis / dynamic) alone and on all pairwise
+//! unions, quantifying what each group contributes.
+//!
+//! Run: `cargo run --release -p ffr-bench --bin ablation_features`
+
+use ffr_bench::{load_or_collect_dataset, Scale};
+use ffr_core::{evaluate_model, ModelKind};
+use ffr_features::FeatureGroup;
+
+fn main() {
+    let ds = load_or_collect_dataset(Scale::from_env());
+    let groups: Vec<(&str, Vec<usize>)> = vec![
+        ("structural only", FeatureGroup::Structural.columns().collect()),
+        ("synthesis only", FeatureGroup::Synthesis.columns().collect()),
+        ("dynamic only", FeatureGroup::Dynamic.columns().collect()),
+        (
+            "structural + synthesis",
+            FeatureGroup::Structural
+                .columns()
+                .chain(FeatureGroup::Synthesis.columns())
+                .collect(),
+        ),
+        (
+            "structural + dynamic",
+            FeatureGroup::Structural
+                .columns()
+                .chain(FeatureGroup::Dynamic.columns())
+                .collect(),
+        ),
+        (
+            "synthesis + dynamic",
+            FeatureGroup::Synthesis
+                .columns()
+                .chain(FeatureGroup::Dynamic.columns())
+                .collect(),
+        ),
+        ("all features", (0..ds.features.num_cols()).collect()),
+    ];
+
+    println!("Feature-group ablation (k-NN, CV = 10, training size = 50 %)");
+    println!("{:<26} {:>6} {:>8} {:>8} {:>8}", "feature set", "cols", "MAE", "RMSE", "R2");
+    for (name, cols) in groups {
+        let sub = ds.with_columns(&cols);
+        let s = evaluate_model(ModelKind::Knn, &sub, 10, 0.5, 2019);
+        println!(
+            "{:<26} {:>6} {:>8.3} {:>8.3} {:>8.3}",
+            name,
+            cols.len(),
+            s.mae,
+            s.rmse,
+            s.r2
+        );
+    }
+}

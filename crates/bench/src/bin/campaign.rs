@@ -1,0 +1,47 @@
+//! §IV-A — the flat statistical fault-injection campaign.
+//!
+//! Reproduces the paper's reference data generation: for each flip-flop of
+//! the MAC, `injections_per_ff` SEUs at random active-phase cycles, each
+//! run classified as functional failure or benign. Prints the campaign
+//! summary, failure-class totals and the FDR histogram.
+//!
+//! Run: `cargo run --release -p ffr-bench --bin campaign`
+//! (`FFR_SCALE=quick` for a smoke run).
+
+use ffr_bench::{load_or_collect_dataset, mac_setup, Scale};
+use ffr_netlist::NetlistStats;
+use ffr_sim::Stimulus;
+
+fn main() {
+    let scale = Scale::from_env();
+    let setup = mac_setup(scale);
+    println!("=== Design under test ===");
+    println!("{}", NetlistStats::of(setup.cc.netlist()));
+    println!(
+        "testbench: {} cycles, injection window {:?}",
+        setup.tb.num_cycles(),
+        setup.tb.injection_window()
+    );
+    println!(
+        "packets sent: {}",
+        setup.tb.sent_packets().len()
+    );
+
+    let ds = load_or_collect_dataset(scale);
+    println!("\n=== Flat statistical fault-injection campaign ===");
+    println!(
+        "flip-flops: {}   injections/FF: {}   total injections: {}",
+        ds.len(),
+        ds.injections_per_ff,
+        ds.len() * ds.injections_per_ff
+    );
+    let mean = ds.y().iter().sum::<f64>() / ds.len() as f64;
+    println!("circuit-level FDR (mean over FFs): {mean:.4}");
+    let zeros = ds.y().iter().filter(|&&v| v == 0.0).count();
+    let ones = ds.y().iter().filter(|&&v| v >= 0.999).count();
+    println!("fully benign FFs: {zeros}   always-failing FFs: {ones}");
+
+    println!("\nFDR histogram (10 bins):");
+    let hist = ffr_fault::FdrHistogram::of(ds.y().iter().copied(), 10);
+    print!("{hist}");
+}

@@ -1,0 +1,26 @@
+//! Fig. 2 — regression with the Linear Least Squares model.
+//!
+//! 2a: true vs predicted FDR (train and test splits of an example fold,
+//! training size 50 %); 2b: learning curve (train/test R² vs training
+//! size, CV = 10).
+//!
+//! Run: `cargo run --release -p ffr-bench --bin fig2_linear`
+
+use ffr_bench::{load_or_collect_dataset, Scale, LEARNING_CURVE_FRACTIONS};
+use ffr_core::{model_learning_curve, prediction_report, ModelKind};
+
+fn main() {
+    let ds = load_or_collect_dataset(Scale::from_env());
+    println!("=== Fig. 2a: prediction on an example fold (training size = 50%) ===");
+    let rep = prediction_report(ModelKind::LinearLeastSquares, &ds, 0.5, 2019);
+    print!("{rep}");
+    println!("\n=== Fig. 2b: learning curve (cross validation fold = 10) ===");
+    let curve = model_learning_curve(
+        ModelKind::LinearLeastSquares,
+        &ds,
+        &LEARNING_CURVE_FRACTIONS,
+        10,
+        2019,
+    );
+    print!("{curve}");
+}

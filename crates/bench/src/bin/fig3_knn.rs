@@ -1,0 +1,19 @@
+//! Fig. 3 — regression with the k-Nearest Neighbors model (k = 3,
+//! Manhattan distance, inverse-distance weights).
+//!
+//! 3a: true vs predicted FDR on an example fold; 3b: learning curve.
+//!
+//! Run: `cargo run --release -p ffr-bench --bin fig3_knn`
+
+use ffr_bench::{load_or_collect_dataset, Scale, LEARNING_CURVE_FRACTIONS};
+use ffr_core::{model_learning_curve, prediction_report, ModelKind};
+
+fn main() {
+    let ds = load_or_collect_dataset(Scale::from_env());
+    println!("=== Fig. 3a: prediction on an example fold (training size = 50%) ===");
+    let rep = prediction_report(ModelKind::Knn, &ds, 0.5, 2019);
+    print!("{rep}");
+    println!("\n=== Fig. 3b: learning curve (cross validation fold = 10) ===");
+    let curve = model_learning_curve(ModelKind::Knn, &ds, &LEARNING_CURVE_FRACTIONS, 10, 2019);
+    print!("{curve}");
+}

@@ -1,0 +1,19 @@
+//! Fig. 4 — regression with the Support Vector Regressor with RBF kernel
+//! (C = 3.5, γ = 0.055, ε = 0.025).
+//!
+//! 4a: true vs predicted FDR on an example fold; 4b: learning curve.
+//!
+//! Run: `cargo run --release -p ffr-bench --bin fig4_svr`
+
+use ffr_bench::{load_or_collect_dataset, Scale, LEARNING_CURVE_FRACTIONS};
+use ffr_core::{model_learning_curve, prediction_report, ModelKind};
+
+fn main() {
+    let ds = load_or_collect_dataset(Scale::from_env());
+    println!("=== Fig. 4a: prediction on an example fold (training size = 50%) ===");
+    let rep = prediction_report(ModelKind::SvrRbf, &ds, 0.5, 2019);
+    print!("{rep}");
+    println!("\n=== Fig. 4b: learning curve (cross validation fold = 10) ===");
+    let curve = model_learning_curve(ModelKind::SvrRbf, &ds, &LEARNING_CURVE_FRACTIONS, 10, 2019);
+    print!("{curve}");
+}

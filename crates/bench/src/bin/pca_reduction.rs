@@ -1,0 +1,55 @@
+//! Extension — dimensionality reduction ahead of the regressor.
+//!
+//! The paper's future work suggests "a dimension reduction should be taken
+//! into account in order to avoid the curse of dimensionality". This
+//! experiment standardizes the 25 features, projects them onto the top-k
+//! principal components and re-evaluates the k-NN model for several k.
+//!
+//! Run: `cargo run --release -p ffr-bench --bin pca_reduction`
+
+use ffr_bench::{load_or_collect_dataset, Scale};
+use ffr_ml::metrics::RegressionScores;
+use ffr_ml::model_selection::{take, StratifiedKFold};
+use ffr_ml::{Distance, KnnRegressor, Pca, Regressor, StandardScaler, WeightScheme};
+
+fn main() {
+    let ds = load_or_collect_dataset(Scale::from_env());
+    let x = ds.x();
+    let y = ds.y();
+    let folds = StratifiedKFold::new(10, 2019).split(y);
+
+    println!(
+        "{:>12} {:>14} {:>8} {:>8} {:>8}",
+        "components", "var_explained", "MAE", "RMSE", "R2"
+    );
+    for k in [2usize, 4, 6, 8, 12, 16, 20, 25] {
+        let mut fold_scores = Vec::new();
+        let mut var_ratio = 0.0;
+        for (train, test) in &folds {
+            let (tx, ty) = take(&x, y, train);
+            let (vx, vy) = take(&x, y, test);
+            // Standardize, then project (both fit on train only).
+            let mut scaler = StandardScaler::new();
+            let tx_s = scaler.fit_transform(&tx);
+            let vx_s = scaler.transform(&vx);
+            let pca = Pca::fit(&tx_s, k);
+            var_ratio = pca.explained_variance_ratio(Pca::total_variance(&tx_s));
+            let tx_p = pca.transform(&tx_s);
+            let vx_p = pca.transform(&vx_s);
+            let mut m = KnnRegressor::new(3, Distance::Manhattan, WeightScheme::InverseDistance);
+            m.fit(&tx_p, &ty);
+            fold_scores.push(RegressionScores::compute(&vy, &m.predict(&vx_p)));
+        }
+        let s = RegressionScores::mean(&fold_scores);
+        println!(
+            "{:>12} {:>13.1}% {:>8.3} {:>8.3} {:>8.3}",
+            k,
+            var_ratio * 100.0,
+            s.mae,
+            s.rmse,
+            s.r2
+        );
+    }
+    println!("\n(compare the 25-component row with Table I's k-NN row: if fewer");
+    println!("components match it, the feature set carries redundancy)");
+}

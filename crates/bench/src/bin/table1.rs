@@ -1,0 +1,20 @@
+//! Table I — performance of the three regression models under 10-fold
+//! stratified cross-validation at 50 % training size.
+//!
+//! Run: `cargo run --release -p ffr-bench --bin table1`
+
+use ffr_bench::{load_or_collect_dataset, Scale};
+use ffr_core::{compare_models, ModelKind};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = load_or_collect_dataset(scale);
+    let cmp = compare_models(&ModelKind::PAPER, &ds, 10, 0.5, 2019);
+    println!("TABLE I");
+    print!("{cmp}");
+    println!();
+    println!("paper reference (same protocol on the authors' testbed):");
+    println!("  Linear Least Squares   MAE 0.165  MAX 0.944  RMSE 0.218  EV 0.520  R2 0.519");
+    println!("  k-NN                   MAE 0.050  MAX 0.907  RMSE 0.124  EV 0.843  R2 0.842");
+    println!("  SVR w/ RBF Kernel      MAE 0.063  MAX 0.849  RMSE 0.124  EV 0.845  R2 0.844");
+}

@@ -1,0 +1,21 @@
+//! Extension ("Table II") — the paper's future-work models evaluated under
+//! the identical protocol as Table I: ridge, decision tree, random forest,
+//! gradient boosting and an MLP, next to the original three.
+//!
+//! Run: `cargo run --release -p ffr-bench --bin table2_extended`
+
+use ffr_bench::{load_or_collect_dataset, Scale};
+use ffr_core::{compare_models, ModelKind};
+
+fn main() {
+    let ds = load_or_collect_dataset(Scale::from_env());
+    let cmp = compare_models(&ModelKind::ALL, &ds, 10, 0.5, 2019);
+    println!("TABLE II (extension): all models, CV = 10, training size = 50 %");
+    print!("{cmp}");
+    let best = cmp
+        .rows
+        .iter()
+        .max_by(|a, b| a.1.r2.total_cmp(&b.1.r2))
+        .expect("non-empty");
+    println!("\nbest model by R2: {} ({:.3})", best.0, best.1.r2);
+}

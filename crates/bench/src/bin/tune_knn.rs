@@ -1,0 +1,45 @@
+//! §IV-B.2 — hyperparameter search for the k-NN model.
+//!
+//! Reproduces the random + grid search the paper used to find `k = 3`
+//! with the Manhattan distance.
+//!
+//! Run: `cargo run --release -p ffr-bench --bin tune_knn`
+
+use ffr_bench::{load_or_collect_dataset, Scale};
+use ffr_core::ModelKind;
+use ffr_ml::model_selection::{grid_search, StratifiedKFold};
+use ffr_ml::Regressor;
+
+fn main() {
+    let ds = load_or_collect_dataset(Scale::from_env());
+    let x = ds.x();
+    let folds = StratifiedKFold::new(5, 2019).split(ds.y());
+    let grid = ModelKind::knn_grid();
+    println!("k-NN grid search over {} configurations (CV = 5)", grid.len());
+    let result = grid_search(
+        &grid,
+        |p| {
+            let m: Box<dyn Regressor + Send + Sync> = Box::new(p.build());
+            m
+        },
+        &x,
+        ds.y(),
+        &folds,
+    );
+    println!("\n{:<6} {:<12} {:<18} {:>8}", "k", "distance", "weights", "R2");
+    let mut rows = result.evaluated.clone();
+    rows.sort_by(|a, b| b.1.r2.total_cmp(&a.1.r2));
+    for (p, s) in &rows {
+        println!(
+            "{:<6} {:<12} {:<18} {:>8.3}",
+            p.k,
+            format!("{:?}", p.distance),
+            format!("{:?}", p.weights),
+            s.r2
+        );
+    }
+    println!(
+        "\nbest: k={} {:?} {:?} (paper: k=3 Manhattan inverse-distance)",
+        result.best_params.k, result.best_params.distance, result.best_params.weights
+    );
+}

@@ -1,0 +1,88 @@
+//! §IV-B.3 — hyperparameter search for the SVR model.
+//!
+//! Reproduces the random + grid search the paper used to find `C = 3.5`,
+//! `γ = 0.055`, `ε = 0.025`: a seeded random search over wide log-uniform
+//! ranges followed by a grid around the paper's region.
+//!
+//! Search-time economics: SMO is quadratic-ish in the training size, so
+//! the search runs on a 350-sample stratified subsample with a capped
+//! iteration budget — the winning region is then validated at full size
+//! by `table1`/`fig4_svr`.
+//!
+//! Run: `cargo run --release -p ffr-bench --bin tune_svr`
+
+use ffr_bench::{load_or_collect_dataset, Scale};
+use ffr_core::{ModelKind, SvrParams};
+use ffr_ml::model_selection::{grid_search, random_search, StratifiedKFold};
+use ffr_ml::{Kernel, Regressor, ScaledRegressor, SvrRegressor};
+use rand::Rng;
+
+fn tuned(p: &SvrParams) -> Box<dyn Regressor + Send + Sync> {
+    Box::new(ScaledRegressor::new(
+        SvrRegressor::new(p.c, p.epsilon, Kernel::Rbf { gamma: p.gamma })
+            .with_max_iter(30_000),
+    ))
+}
+
+fn main() {
+    let ds = load_or_collect_dataset(Scale::from_env());
+    // Stratified subsample for search speed.
+    let max_search = 350usize;
+    let all_x = ds.x();
+    let y_full = ds.y();
+    let (x, y): (Vec<Vec<f64>>, Vec<f64>) = if ds.len() > max_search {
+        let mut order: Vec<usize> = (0..ds.len()).collect();
+        order.sort_by(|&a, &b| y_full[a].total_cmp(&y_full[b]));
+        let stride = ds.len() as f64 / max_search as f64;
+        let picks: Vec<usize> = (0..max_search)
+            .map(|i| order[(i as f64 * stride) as usize])
+            .collect();
+        (
+            picks.iter().map(|&i| all_x[i].clone()).collect(),
+            picks.iter().map(|&i| y_full[i]).collect(),
+        )
+    } else {
+        (all_x.clone(), y_full.to_vec())
+    };
+    println!("search set: {} samples (stratified subsample)", x.len());
+    let folds = StratifiedKFold::new(5, 2019).split(&y);
+
+    println!("\nstage 1: random search (16 draws, log-uniform C/gamma/epsilon)");
+    let coarse = random_search(
+        16,
+        2019,
+        |rng| SvrParams {
+            c: 10f64.powf(rng.gen_range(-1.0..2.0)),
+            gamma: 10f64.powf(rng.gen_range(-3.0..1.0)),
+            epsilon: 10f64.powf(rng.gen_range(-3.0..-0.5)),
+        },
+        tuned,
+        &x,
+        &y,
+        &folds,
+    );
+    println!(
+        "  best random draw: C={:.3} gamma={:.4} eps={:.4} (R2={:.3})",
+        coarse.best_params.c,
+        coarse.best_params.gamma,
+        coarse.best_params.epsilon,
+        coarse.best_scores.r2
+    );
+
+    println!("\nstage 2: grid search around the paper's region");
+    let grid = ModelKind::svr_grid();
+    let fine = grid_search(&grid, tuned, &x, &y, &folds);
+    let mut rows = fine.evaluated.clone();
+    rows.sort_by(|a, b| b.1.r2.total_cmp(&a.1.r2));
+    println!("{:>8} {:>8} {:>8} {:>8}", "C", "gamma", "eps", "R2");
+    for (p, s) in rows.iter().take(10) {
+        println!(
+            "{:>8.3} {:>8.4} {:>8.4} {:>8.3}",
+            p.c, p.gamma, p.epsilon, s.r2
+        );
+    }
+    println!(
+        "\nbest grid point: C={} gamma={} eps={} (paper: C=3.5 gamma=0.055 eps=0.025)",
+        fine.best_params.c, fine.best_params.gamma, fine.best_params.epsilon
+    );
+}

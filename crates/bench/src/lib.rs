@@ -1,0 +1,174 @@
+//! Shared experiment harness for the per-table / per-figure binaries and
+//! the Criterion microbenchmarks.
+//!
+//! Every binary works on the same **reference dataset** (MAC features +
+//! flat-campaign FDR); collecting it is the expensive step, so it is
+//! cached as JSON under `target/ffr-cache/`, keyed by the experiment
+//! scale.
+//!
+//! Scale is controlled by the `FFR_SCALE` environment variable:
+//!
+//! * `paper` (default) — the paper's setting: 1054-FF MAC, 170 injections
+//!   per flip-flop;
+//! * `quick` — a reduced MAC and fewer injections, for smoke runs and CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ffr_circuits::{Mac10geConfig, MacJudge, MacTestbench, PacketExtractor, TrafficConfig};
+use ffr_core::ReferenceDataset;
+use ffr_fault::CampaignConfig;
+use ffr_sim::{CompiledCircuit, GoldenRun, WatchList};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's full setting (default).
+    Paper,
+    /// Reduced setting for smoke runs (`FFR_SCALE=quick`).
+    Quick,
+}
+
+impl Scale {
+    /// Read the scale from `FFR_SCALE` (default: `paper`).
+    pub fn from_env() -> Scale {
+        match std::env::var("FFR_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Paper,
+        }
+    }
+
+    /// Cache-key tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        }
+    }
+
+    /// MAC configuration at this scale.
+    pub fn mac_config(self) -> Mac10geConfig {
+        match self {
+            Scale::Paper => Mac10geConfig::default(),
+            Scale::Quick => Mac10geConfig::small(),
+        }
+    }
+
+    /// Traffic configuration at this scale.
+    pub fn traffic(self) -> TrafficConfig {
+        match self {
+            Scale::Paper => TrafficConfig::default(),
+            Scale::Quick => TrafficConfig::small(),
+        }
+    }
+
+    /// Injections per flip-flop at this scale (the paper uses 170).
+    pub fn injections_per_ff(self) -> usize {
+        match self {
+            Scale::Paper => 170,
+            Scale::Quick => 24,
+        }
+    }
+}
+
+/// Cache directory (`target/ffr-cache`), created on demand.
+pub fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/ffr-cache");
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+    dir
+}
+
+/// The compiled MAC experiment environment.
+pub struct MacSetup {
+    /// Compiled circuit.
+    pub cc: CompiledCircuit,
+    /// Packet testbench.
+    pub tb: MacTestbench,
+    /// Watched outputs.
+    pub watch: WatchList,
+    /// RX packet decoder.
+    pub extractor: PacketExtractor,
+}
+
+/// Build the MAC, testbench and watch list at the given scale.
+pub fn mac_setup(scale: Scale) -> MacSetup {
+    let (cc, tb, watch, extractor) = MacTestbench::setup(scale.mac_config(), &scale.traffic());
+    MacSetup {
+        cc,
+        tb,
+        watch,
+        extractor,
+    }
+}
+
+/// Build the failure judge for a setup (captures a golden run).
+pub fn mac_judge(setup: &MacSetup) -> MacJudge {
+    let golden = GoldenRun::capture(&setup.cc, &setup.tb, &setup.watch);
+    MacJudge::new(setup.extractor.clone(), &golden)
+}
+
+/// Load the cached reference dataset for `scale`, or run the full flat
+/// campaign (§IV-A) and cache it.
+pub fn load_or_collect_dataset(scale: Scale) -> ReferenceDataset {
+    let path = cache_dir().join(format!("dataset_{}.json", scale.tag()));
+    if let Ok(ds) = ReferenceDataset::load_json(&path) {
+        eprintln!("[ffr-bench] using cached dataset {}", path.display());
+        return ds;
+    }
+    let setup = mac_setup(scale);
+    let judge = mac_judge(&setup);
+    let config = CampaignConfig::new(setup.tb.injection_window())
+        .with_injections(scale.injections_per_ff())
+        .with_seed(2019);
+    eprintln!(
+        "[ffr-bench] running flat campaign: {} FFs x {} injections...",
+        setup.cc.num_ffs(),
+        config.injections_per_ff
+    );
+    let t0 = Instant::now();
+    let ds = ReferenceDataset::collect(
+        &setup.cc,
+        &setup.tb,
+        &setup.watch,
+        &judge,
+        &config,
+        |done, total| {
+            if done % 100 == 0 || done == total {
+                eprint!("\r[ffr-bench] {done}/{total} flip-flops");
+                let _ = std::io::stderr().flush();
+            }
+        },
+    );
+    eprintln!("\n[ffr-bench] campaign done in {:.1?}", t0.elapsed());
+    if let Err(e) = ds.save_json(&path) {
+        eprintln!("[ffr-bench] warning: failed to cache dataset: {e}");
+    }
+    ds
+}
+
+/// The paper's learning-curve sweep (fractions of the whole dataset).
+pub const LEARNING_CURVE_FRACTIONS: [f64; 9] =
+    [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_parsing_default() {
+        assert_eq!(Scale::Paper.tag(), "paper");
+        assert_eq!(Scale::Quick.tag(), "quick");
+        assert_eq!(Scale::Quick.injections_per_ff(), 24);
+        assert!(Scale::Paper.mac_config().fifo_addr_bits >= Scale::Quick.mac_config().fifo_addr_bits);
+    }
+
+    #[test]
+    fn cache_dir_exists() {
+        let d = cache_dir();
+        assert!(d.exists());
+    }
+}

@@ -1,0 +1,243 @@
+//! Small, fast-to-simulate circuits for tests, examples and quick
+//! campaigns.
+//!
+//! Each constructor returns a validated [`Netlist`]; compile with
+//! [`CompiledCircuit::compile`](ffr_sim::CompiledCircuit::compile).
+
+use crate::components;
+use ffr_netlist::{Netlist, NetlistBuilder};
+
+/// An enabled wrap-around counter with a terminal-count flag.
+///
+/// Ports: input `en`; outputs `value[width]`, `tc` (all-ones detect).
+pub fn counter_circuit(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("counter");
+    let en = b.input("en", 1);
+    let c = components::counter(&mut b, "count", width, &en, None);
+    let tc = b.reduce_and(&c.q());
+    b.output("value", &c.q());
+    b.output("tc", &tc);
+    b.finish().expect("counter circuit is well formed")
+}
+
+/// An LFSR feeding a register pipeline with a parity check at the end.
+///
+/// Ports: input `en`; outputs `data[width]`, `parity`.
+/// The pipeline stages give the design FFs at different sequential depths.
+pub fn lfsr_pipeline(width: usize, depth: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("lfsr_pipeline");
+    let en = b.input("en", 1);
+    let src = components::lfsr(&mut b, "src", width, &en);
+    let stages = components::shift_register(&mut b, "pipe", depth, &en, &src.q());
+    let last = stages.last().expect("depth >= 1");
+    let parity = b.reduce_xor(last);
+    b.output("data", last);
+    b.output("parity", &parity);
+    b.finish().expect("lfsr pipeline is well formed")
+}
+
+/// A small registered ALU: two operand registers, an operation register
+/// and a result register.
+///
+/// Ports: inputs `a[width]`, `bv[width]`, `op[2]`, `load`;
+/// outputs `result[width]`, `zero`.
+///
+/// Operations: 0 = add, 1 = and, 2 = or, 3 = xor.
+pub fn alu_circuit(width: usize) -> Netlist {
+    let mut b = NetlistBuilder::new("alu");
+    let a_in = b.input("a", width);
+    let b_in = b.input("bv", width);
+    let op_in = b.input("op", 2);
+    let load = b.input("load", 1);
+
+    let ra = b.reg("ra", width);
+    b.connect_en(&ra, &load, &a_in).expect("ra");
+    let rb = b.reg("rb", width);
+    b.connect_en(&rb, &load, &b_in).expect("rb");
+    let rop = b.reg("rop", 2);
+    b.connect_en(&rop, &load, &op_in).expect("rop");
+
+    let (sum, _) = b.add(&ra.q(), &rb.q());
+    let and = b.and(&ra.q(), &rb.q());
+    let or = b.or(&ra.q(), &rb.q());
+    let xor = b.xor(&ra.q(), &rb.q());
+    let result = b.select(&rop.q(), &[sum, and, or, xor]);
+
+    let rres = b.reg("rres", width);
+    b.connect(&rres, &result).expect("rres");
+    let nz = b.reduce_or(&rres.q());
+    let zero = b.not(&nz);
+    b.output("result", &rres.q());
+    b.output("zero", &zero);
+    b.finish().expect("alu circuit is well formed")
+}
+
+/// A traffic-light controller: a three-state one-hot FSM with a phase
+/// timer and a benign statistics counter.
+///
+/// Ports: input `tick`; outputs `green`, `yellow`, `red`,
+/// `cycles_served[8]`.
+///
+/// The one-hot state bits are highly critical (an SEU can wedge the FSM),
+/// while the statistics counter is functionally irrelevant — a microcosm of
+/// the FDR populations the paper studies.
+pub fn traffic_light() -> Netlist {
+    let mut b = NetlistBuilder::new("traffic_light");
+    let tick = b.input("tick", 1);
+
+    // One-hot state: green (init), yellow, red.
+    let green = b.reg_init("st_green", 1, 1);
+    let yellow = b.reg("st_yellow", 1);
+    let red = b.reg("st_red", 1);
+
+    // Phase timer: green 8 ticks, yellow 2, red 6.
+    let timer = b.reg("timer", 4);
+    let t_is_zero = b.eq_const(&timer.q(), 0);
+    let advance = b.and(&tick, &t_is_zero);
+    let hold = b.not(&advance);
+
+    // Next-state one-hot rotation when advancing.
+    let g_next = b.mux(&advance, &green.q(), &red.q());
+    let y_next = b.mux(&advance, &yellow.q(), &green.q());
+    let r_next = b.mux(&advance, &red.q(), &yellow.q());
+    b.connect(&green, &g_next).expect("green");
+    b.connect(&yellow, &y_next).expect("yellow");
+    b.connect(&red, &r_next).expect("red");
+
+    // Timer reload per state.
+    let reload_g = b.lit(4, 7);
+    let reload_y = b.lit(4, 1);
+    let reload_r = b.lit(4, 5);
+    // Value when advancing: reload for the *next* state.
+    let after_g = &reload_y; // green -> yellow
+    let after_y = &reload_r; // yellow -> red
+    let after_r = &reload_g; // red -> green
+    let sel_gy = b.mux(&green.q(), after_y, after_g);
+    let reload = b.mux(&red.q(), &sel_gy, after_r);
+    let dec = b.add_const(&timer.q(), 0b1111); // minus one, mod 16
+    let dec_or_hold = b.mux(&tick, &timer.q(), &dec);
+    let t_next = b.mux(&hold, &reload, &dec_or_hold);
+    b.connect(&timer, &t_next).expect("timer");
+
+    // Benign statistics: count completed red->green transitions.
+    let back_to_green = b.and(&advance, &red.q());
+    let served = components::counter(&mut b, "cycles_served", 8, &back_to_green, None);
+
+    b.output("green", &green.q());
+    b.output("yellow", &yellow.q());
+    b.output("red", &red.q());
+    b.output("cycles_served", &served.q());
+    b.finish().expect("traffic light is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffr_sim::{CompiledCircuit, SimState};
+
+    fn out_bus(cc: &CompiledCircuit, s: &SimState, base: usize, width: usize) -> u64 {
+        (0..width).fold(0, |acc, i| acc | ((s.output_word(cc, base + i) & 1) << i))
+    }
+
+    #[test]
+    fn counter_circuit_counts_and_flags_tc() {
+        let cc = CompiledCircuit::compile(counter_circuit(4)).unwrap();
+        let mut s = SimState::new(&cc);
+        let tc_idx = cc.netlist().output_index("tc").unwrap();
+        let mut saw_tc = false;
+        for _ in 0..16 {
+            s.set_input(&cc, 0, true);
+            s.eval(&cc);
+            saw_tc |= s.output_word(&cc, tc_idx) & 1 == 1;
+            s.tick(&cc);
+        }
+        assert!(saw_tc, "terminal count must fire within one period");
+    }
+
+    #[test]
+    fn lfsr_pipeline_parity_is_consistent() {
+        let cc = CompiledCircuit::compile(lfsr_pipeline(8, 3)).unwrap();
+        let mut s = SimState::new(&cc);
+        let parity_idx = cc.netlist().output_index("parity").unwrap();
+        for _ in 0..50 {
+            s.set_input(&cc, 0, true);
+            s.eval(&cc);
+            let data = out_bus(&cc, &s, 0, 8);
+            let parity = s.output_word(&cc, parity_idx) & 1;
+            assert_eq!(parity, (data.count_ones() as u64) & 1);
+            s.tick(&cc);
+        }
+    }
+
+    #[test]
+    fn alu_operations() {
+        let cc = CompiledCircuit::compile(alu_circuit(8)).unwrap();
+        let mut s = SimState::new(&cc);
+        let a = 0x5Au64;
+        let bv = 0x0Fu64;
+        for (op, expect) in [
+            (0u64, (a + bv) & 0xFF),
+            (1, a & bv),
+            (2, a | bv),
+            (3, a ^ bv),
+        ] {
+            // Load operands and op.
+            for i in 0..8 {
+                s.set_input(&cc, i, (a >> i) & 1 == 1);
+                s.set_input(&cc, 8 + i, (bv >> i) & 1 == 1);
+            }
+            s.set_input(&cc, 16, op & 1 == 1);
+            s.set_input(&cc, 17, (op >> 1) & 1 == 1);
+            s.set_input(&cc, 18, true);
+            s.eval(&cc);
+            s.tick(&cc);
+            // One more cycle for the result register.
+            s.set_input(&cc, 18, false);
+            s.eval(&cc);
+            s.tick(&cc);
+            s.eval(&cc);
+            assert_eq!(out_bus(&cc, &s, 0, 8), expect, "op {op}");
+        }
+    }
+
+    #[test]
+    fn traffic_light_is_always_one_hot() {
+        let cc = CompiledCircuit::compile(traffic_light()).unwrap();
+        let mut s = SimState::new(&cc);
+        let g = cc.netlist().output_index("green").unwrap();
+        let y = cc.netlist().output_index("yellow").unwrap();
+        let r = cc.netlist().output_index("red").unwrap();
+        let mut seen_states = std::collections::HashSet::new();
+        for cycle in 0..200u64 {
+            s.set_input(&cc, 0, true);
+            s.eval(&cc);
+            let lights = (
+                s.output_word(&cc, g) & 1,
+                s.output_word(&cc, y) & 1,
+                s.output_word(&cc, r) & 1,
+            );
+            let sum = lights.0 + lights.1 + lights.2;
+            assert_eq!(sum, 1, "one-hot violated at cycle {cycle}: {lights:?}");
+            seen_states.insert(lights);
+            s.tick(&cc);
+        }
+        assert_eq!(seen_states.len(), 3, "all three phases visited");
+    }
+
+    #[test]
+    fn traffic_light_serves_cycles() {
+        let cc = CompiledCircuit::compile(traffic_light()).unwrap();
+        let mut s = SimState::new(&cc);
+        let base = cc.netlist().output_index("cycles_served[0]").unwrap();
+        for _ in 0..400 {
+            s.set_input(&cc, 0, true);
+            s.eval(&cc);
+            s.tick(&cc);
+        }
+        s.eval(&cc);
+        let served = out_bus(&cc, &s, base, 8);
+        // Full cycle is (8 + 2 + 6) ticks plus reload cycles; at least a
+        // few cycles must have completed in 400 ticks.
+        assert!(served >= 10, "served = {served}");
+    }
+}

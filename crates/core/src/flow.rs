@@ -1,0 +1,239 @@
+//! The production estimation flow: inject a training subset, predict the
+//! rest (Fig. 1 of the paper).
+
+use crate::models::ModelKind;
+use ffr_fault::{Campaign, CampaignConfig, FailureJudge, FdrTable};
+use ffr_features::{extract_features, FeatureMatrix};
+use ffr_ml::Regressor;
+use ffr_netlist::FfId;
+use ffr_sim::{CompiledCircuit, Stimulus, WatchList};
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the estimation flow.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Fraction of flip-flops whose FDR is measured by fault injection
+    /// (the paper recommends 0.2–0.5).
+    pub training_fraction: f64,
+    /// Injections per trained flip-flop.
+    pub injections_per_ff: usize,
+    /// Injection window (the testbench's active phase).
+    pub window: std::ops::Range<u64>,
+    /// Seed for subset selection and injection plans.
+    pub seed: u64,
+}
+
+impl FlowConfig {
+    /// Paper-style defaults (50 % training, 170 injections).
+    pub fn new(window: std::ops::Range<u64>) -> FlowConfig {
+        FlowConfig {
+            training_fraction: 0.5,
+            injections_per_ff: 170,
+            window,
+            seed: 0,
+        }
+    }
+}
+
+/// How a flip-flop's FDR value in an [`Estimation`] was obtained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FdrEstimate {
+    /// Measured by statistical fault injection (training subset).
+    Measured(f64),
+    /// Predicted by the trained model.
+    Predicted(f64),
+}
+
+impl FdrEstimate {
+    /// The FDR value regardless of provenance.
+    pub fn value(self) -> f64 {
+        match self {
+            FdrEstimate::Measured(v) | FdrEstimate::Predicted(v) => v,
+        }
+    }
+
+    /// `true` if the value came from fault injection.
+    pub fn is_measured(self) -> bool {
+        matches!(self, FdrEstimate::Measured(_))
+    }
+}
+
+/// Result of one estimation-flow run: a complete per-flip-flop FDR list
+/// obtained from a partial campaign plus model predictions.
+#[derive(Debug, Clone)]
+pub struct Estimation {
+    /// Per-flip-flop estimates, indexed by `FfId`.
+    pub per_ff: Vec<FdrEstimate>,
+    /// The flip-flops that were fault-injected.
+    pub trained_ffs: Vec<FfId>,
+    /// The partial reference table from the campaign.
+    pub measured: FdrTable,
+}
+
+impl Estimation {
+    /// Dense FDR vector (measured and predicted values mixed).
+    pub fn values(&self) -> Vec<f64> {
+        self.per_ff.iter().map(|e| e.value()).collect()
+    }
+
+    /// Circuit-level FDR implied by the estimates.
+    pub fn circuit_fdr(&self) -> f64 {
+        let v = self.values();
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    /// Number of fault-injection simulations the flow spent.
+    pub fn injections_spent(&self) -> usize {
+        self.trained_ffs.len() * self.measured.injections_per_ff()
+    }
+}
+
+/// The ML-assisted FDR estimation flow of Fig. 1.
+///
+/// Construction captures the golden run and extracts features; each
+/// [`estimate`](EstimationFlow::estimate) call injects faults into a
+/// training subset of flip-flops, trains the chosen model and predicts the
+/// FDR of every remaining flip-flop.
+pub struct EstimationFlow<'a, S, J> {
+    campaign: Campaign<'a, S, J>,
+    features: FeatureMatrix,
+    num_ffs: usize,
+}
+
+impl<'a, S, J> EstimationFlow<'a, S, J>
+where
+    S: Stimulus + Sync,
+    J: FailureJudge,
+{
+    /// Prepare the flow: golden run + feature extraction.
+    pub fn new(
+        cc: &'a CompiledCircuit,
+        stimulus: &'a S,
+        watch: &'a WatchList,
+        judge: &'a J,
+    ) -> EstimationFlow<'a, S, J> {
+        let campaign = Campaign::new(cc, stimulus, watch, judge);
+        let features = extract_features(cc, &campaign.golden().activity);
+        EstimationFlow {
+            campaign,
+            features,
+            num_ffs: cc.num_ffs(),
+        }
+    }
+
+    /// The extracted feature matrix.
+    pub fn features(&self) -> &FeatureMatrix {
+        &self.features
+    }
+
+    /// The underlying campaign (e.g. to reuse its golden run).
+    pub fn campaign(&self) -> &Campaign<'a, S, J> {
+        &self.campaign
+    }
+
+    /// Run the flow with the given model.
+    pub fn estimate(&self, kind: ModelKind, config: &FlowConfig) -> Estimation {
+        assert!(
+            config.training_fraction > 0.0 && config.training_fraction < 1.0,
+            "training fraction must be in (0,1)"
+        );
+        // Choose the training subset.
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut ffs: Vec<FfId> = (0..self.num_ffs).map(FfId::from_index).collect();
+        ffs.shuffle(&mut rng);
+        let n_train = ((self.num_ffs as f64) * config.training_fraction)
+            .round()
+            .max(2.0) as usize;
+        let trained_ffs: Vec<FfId> = ffs[..n_train.min(self.num_ffs)].to_vec();
+
+        // Partial campaign on the training subset only.
+        let cc_config = CampaignConfig::new(config.window.clone())
+            .with_injections(config.injections_per_ff)
+            .with_seed(config.seed);
+        let measured = self
+            .campaign
+            .run_parallel_subset(&trained_ffs, &cc_config, |_, _| {});
+
+        // Train on measured values.
+        let rows = self.features.to_rows();
+        let tx: Vec<Vec<f64>> = trained_ffs.iter().map(|&f| rows[f.index()].clone()).collect();
+        let ty: Vec<f64> = trained_ffs
+            .iter()
+            .map(|&f| measured.fdr(f).expect("trained FF measured"))
+            .collect();
+        let mut model = kind.build();
+        model.fit(&tx, &ty);
+
+        // Assemble the per-FF estimates (clamped to the valid FDR range).
+        let mut per_ff = Vec::with_capacity(self.num_ffs);
+        for i in 0..self.num_ffs {
+            let ff = FfId::from_index(i);
+            match measured.fdr(ff) {
+                Some(v) => per_ff.push(FdrEstimate::Measured(v)),
+                None => {
+                    let p = model.predict_one(&rows[i]).clamp(0.0, 1.0);
+                    per_ff.push(FdrEstimate::Predicted(p));
+                }
+            }
+        }
+        Estimation {
+            per_ff,
+            trained_ffs,
+            measured,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffr_circuits::{Mac10geConfig, MacJudge, MacTestbench, TrafficConfig};
+    use ffr_sim::GoldenRun;
+
+    #[test]
+    fn flow_estimates_every_ff_and_saves_injections() {
+        let (cc, tb, watch, extractor) =
+            MacTestbench::setup(Mac10geConfig::small(), &TrafficConfig::small());
+        let golden = GoldenRun::capture(&cc, &tb, &watch);
+        let judge = MacJudge::new(extractor, &golden);
+        let flow = EstimationFlow::new(&cc, &tb, &watch, &judge);
+        let config = FlowConfig {
+            training_fraction: 0.3,
+            injections_per_ff: 8,
+            window: tb.injection_window(),
+            seed: 5,
+        };
+        let est = flow.estimate(ModelKind::Knn, &config);
+        assert_eq!(est.per_ff.len(), cc.num_ffs());
+        let measured = est.per_ff.iter().filter(|e| e.is_measured()).count();
+        let expected_train = ((cc.num_ffs() as f64) * 0.3).round() as usize;
+        assert_eq!(measured, expected_train);
+        assert_eq!(est.trained_ffs.len(), expected_train);
+        assert_eq!(est.injections_spent(), expected_train * 8);
+        // All estimates are valid FDR values.
+        assert!(est.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // The circuit FDR is a sane aggregate.
+        let c = est.circuit_fdr();
+        assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let (cc, tb, watch, extractor) =
+            MacTestbench::setup(Mac10geConfig::small(), &TrafficConfig::small());
+        let golden = GoldenRun::capture(&cc, &tb, &watch);
+        let judge = MacJudge::new(extractor, &golden);
+        let flow = EstimationFlow::new(&cc, &tb, &watch, &judge);
+        let config = FlowConfig {
+            training_fraction: 0.25,
+            injections_per_ff: 4,
+            window: tb.injection_window(),
+            seed: 9,
+        };
+        let a = flow.estimate(ModelKind::DecisionTree, &config);
+        let b = flow.estimate(ModelKind::DecisionTree, &config);
+        assert_eq!(a.values(), b.values());
+    }
+}

@@ -1,0 +1,236 @@
+//! The model zoo: the paper's three evaluated models and its future-work
+//! models, with tuned hyperparameters and default search spaces.
+
+use ffr_ml::{
+    Activation, Distance, GradientBoostingRegressor, Kernel, KnnRegressor, LinearRegression,
+    MlpRegressor, RandomForestRegressor, Regressor, RidgeRegression, ScaledRegressor,
+    SvrRegressor, WeightScheme,
+};
+use serde::{Deserialize, Serialize};
+
+/// Every regression model the workspace can evaluate.
+///
+/// The first three are the paper's §IV models with the hyperparameters the
+/// paper reports from its random + grid search (k-NN: `k = 3`, Manhattan,
+/// inverse-distance; SVR: `C = 3.5`, `γ = 0.055`, `ε = 0.025`); the rest
+/// are the future-work models of §V.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Ordinary linear least squares (§IV-B.1).
+    LinearLeastSquares,
+    /// k-nearest neighbors with the paper's tuned hyperparameters
+    /// (§IV-B.2).
+    Knn,
+    /// ε-SVR with RBF kernel and the paper's tuned hyperparameters
+    /// (§IV-B.3).
+    SvrRbf,
+    /// Ridge regression (regularized linear baseline).
+    Ridge,
+    /// CART decision tree (future work).
+    DecisionTree,
+    /// Random forest (future work).
+    RandomForest,
+    /// Gradient boosting (future work: "boosting algorithms").
+    GradientBoosting,
+    /// Multi-layer perceptron (future work).
+    Mlp,
+}
+
+impl ModelKind {
+    /// The three models of the paper's Table I, in table order.
+    pub const PAPER: [ModelKind; 3] = [
+        ModelKind::LinearLeastSquares,
+        ModelKind::Knn,
+        ModelKind::SvrRbf,
+    ];
+
+    /// Every model, paper models first.
+    pub const ALL: [ModelKind; 8] = [
+        ModelKind::LinearLeastSquares,
+        ModelKind::Knn,
+        ModelKind::SvrRbf,
+        ModelKind::Ridge,
+        ModelKind::DecisionTree,
+        ModelKind::RandomForest,
+        ModelKind::GradientBoosting,
+        ModelKind::Mlp,
+    ];
+
+    /// Human-readable name matching the paper's table rows.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            ModelKind::LinearLeastSquares => "Linear Least Squares",
+            ModelKind::Knn => "k-NN",
+            ModelKind::SvrRbf => "SVR w/ RBF Kernel",
+            ModelKind::Ridge => "Ridge Regression",
+            ModelKind::DecisionTree => "Decision Tree",
+            ModelKind::RandomForest => "Random Forest",
+            ModelKind::GradientBoosting => "Gradient Boosting",
+            ModelKind::Mlp => "MLP",
+        }
+    }
+
+    /// Instantiate the model with its tuned default hyperparameters.
+    ///
+    /// Distance/kernel/gradient models are wrapped in a standard scaler,
+    /// mirroring the scikit-learn pipelines the paper used.
+    pub fn build(self) -> Box<dyn Regressor + Send + Sync> {
+        match self {
+            ModelKind::LinearLeastSquares => Box::new(LinearRegression::new()),
+            ModelKind::Knn => Box::new(ScaledRegressor::new(KnnRegressor::paper_tuned())),
+            ModelKind::SvrRbf => Box::new(ScaledRegressor::new(SvrRegressor::paper_tuned())),
+            ModelKind::Ridge => Box::new(RidgeRegression::new(1.0)),
+            ModelKind::DecisionTree => Box::new(DecisionTreeParams::default().build()),
+            ModelKind::RandomForest => {
+                Box::new(RandomForestRegressor::new(60, 12, 0).with_min_samples_leaf(2))
+            }
+            ModelKind::GradientBoosting => {
+                Box::new(GradientBoostingRegressor::new(150, 0.1, 3))
+            }
+            ModelKind::Mlp => Box::new(ScaledRegressor::new(
+                MlpRegressor::new(vec![32, 16], Activation::Relu, 300, 0)
+                    .with_learning_rate(0.01),
+            )),
+        }
+    }
+
+    /// k-NN hyperparameter grid used by the tuning experiment (§IV-B.2).
+    pub fn knn_grid() -> Vec<KnnParams> {
+        let mut grid = Vec::new();
+        for k in [1usize, 2, 3, 5, 7, 11, 15] {
+            for distance in [Distance::Manhattan, Distance::Euclidean] {
+                for weights in [WeightScheme::Uniform, WeightScheme::InverseDistance] {
+                    grid.push(KnnParams {
+                        k,
+                        distance,
+                        weights,
+                    });
+                }
+            }
+        }
+        grid
+    }
+
+    /// SVR hyperparameter grid around the paper's tuned point (§IV-B.3).
+    pub fn svr_grid() -> Vec<SvrParams> {
+        let mut grid = Vec::new();
+        for c in [0.5, 1.0, 3.5, 10.0] {
+            for gamma in [0.01, 0.055, 0.2, 1.0] {
+                for epsilon in [0.01, 0.025, 0.1] {
+                    grid.push(SvrParams { c, gamma, epsilon });
+                }
+            }
+        }
+        grid
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// k-NN hyperparameters for search experiments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KnnParams {
+    /// Number of neighbors.
+    pub k: usize,
+    /// Distance metric.
+    pub distance: Distance,
+    /// Weighting scheme.
+    pub weights: WeightScheme,
+}
+
+impl KnnParams {
+    /// Build the (scaled) model.
+    pub fn build(self) -> ScaledRegressor<KnnRegressor> {
+        ScaledRegressor::new(KnnRegressor::new(self.k, self.distance, self.weights))
+    }
+}
+
+/// SVR hyperparameters for search experiments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SvrParams {
+    /// Penalty C.
+    pub c: f64,
+    /// RBF width γ.
+    pub gamma: f64,
+    /// Tube width ε.
+    pub epsilon: f64,
+}
+
+impl SvrParams {
+    /// Build the (scaled) model.
+    pub fn build(self) -> ScaledRegressor<SvrRegressor> {
+        ScaledRegressor::new(SvrRegressor::new(
+            self.c,
+            self.epsilon,
+            Kernel::Rbf { gamma: self.gamma },
+        ))
+    }
+}
+
+/// Decision-tree hyperparameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecisionTreeParams {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for DecisionTreeParams {
+    fn default() -> Self {
+        DecisionTreeParams {
+            max_depth: 12,
+            min_samples_leaf: 2,
+        }
+    }
+}
+
+impl DecisionTreeParams {
+    /// Build the tree.
+    pub fn build(self) -> ffr_ml::DecisionTreeRegressor {
+        ffr_ml::DecisionTreeRegressor::new(self.max_depth, 2, self.min_samples_leaf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_builds_and_fits() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 8) as f64, (i % 3) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0] * 0.1 + r[1]).min(1.0)).collect();
+        for kind in ModelKind::ALL {
+            let mut m = kind.build();
+            m.fit(&x, &y);
+            let p = m.predict_one(&x[0]);
+            assert!(p.is_finite(), "{kind}: non-finite prediction");
+        }
+    }
+
+    #[test]
+    fn grids_contain_paper_points() {
+        let knn = ModelKind::knn_grid();
+        assert!(knn.iter().any(|p| p.k == 3
+            && p.distance == Distance::Manhattan
+            && p.weights == WeightScheme::InverseDistance));
+        let svr = ModelKind::svr_grid();
+        assert!(svr
+            .iter()
+            .any(|p| p.c == 3.5 && p.gamma == 0.055 && p.epsilon == 0.025));
+    }
+
+    #[test]
+    fn display_names_match_table_one() {
+        assert_eq!(
+            ModelKind::LinearLeastSquares.to_string(),
+            "Linear Least Squares"
+        );
+        assert_eq!(ModelKind::Knn.to_string(), "k-NN");
+        assert_eq!(ModelKind::SvrRbf.to_string(), "SVR w/ RBF Kernel");
+    }
+}

@@ -1,0 +1,39 @@
+//! Statistical fault injection for gate-level circuits.
+//!
+//! This crate implements the paper's *flat statistical fault-injection
+//! campaign* (§IV-A): for every flip-flop, a configurable number of
+//! Single-Event Upsets are injected at random cycles of the active
+//! simulation window; each run is classified as a **functional failure** or
+//! **benign** by a circuit-specific [`FailureJudge`], and the per-flip-flop
+//! **Functional De-Rating factor** is the failure fraction.
+//!
+//! The engine is heavily optimised compared to a naive re-simulation:
+//!
+//! * **64 fault scenarios per simulation** — each lane of the bit-parallel
+//!   simulator carries one injection time (PROOFS-style fault batching),
+//! * **checkpoint restart** — simulation resumes from the golden state
+//!   journal at the earliest injection time of a batch instead of cycle 0,
+//! * **early convergence exit** — once every lane's flip-flop state has
+//!   returned to the golden state, the remaining cycles are provably
+//!   identical and are skipped,
+//! * **parallel campaign** — flip-flops are distributed over threads with
+//!   rayon.
+//!
+//! [`SetCampaign`](crate::set::SetCampaign) additionally implements the
+//! Single-Event *Transient* model on combinational nets as an extension.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod judge;
+mod model;
+mod result;
+mod sampling;
+pub mod set;
+
+pub use campaign::{Campaign, CampaignConfig};
+pub use judge::{FailureJudge, OutputMismatchJudge};
+pub use model::{FailureClass, Fault, FaultKind};
+pub use result::{FdrHistogram, FdrTable, FfCampaignResult};
+pub use sampling::{required_sample_size, sample_injection_times, wilson_interval};

@@ -1,0 +1,122 @@
+//! Fault models and failure classes.
+
+use ffr_netlist::FfId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The transient-fault models of the paper's background section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Single-Event Upset: the stored value of a sequential element is
+    /// inverted and persists until overwritten.
+    Seu,
+    /// Single-Event Transient: the output of a combinational gate is
+    /// inverted for one evaluation; it persists only if latched.
+    Set,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Seu => f.write_str("SEU"),
+            FaultKind::Set => f.write_str("SET"),
+        }
+    }
+}
+
+/// A single planned SEU injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fault {
+    /// Target flip-flop.
+    pub ff: FfId,
+    /// Cycle at which the stored value is inverted (the flip is applied to
+    /// the state *entering* this cycle).
+    pub cycle: u64,
+}
+
+/// Outcome classification of one fault-injection run.
+///
+/// The paper's criterion (§IV-A) declares a run a functional failure "when
+/// the final received packages contained payload corruption or the circuit
+/// stopped sending or receiving data"; the variants below preserve the
+/// distinction for diagnostics while [`FailureClass::is_failure`] collapses
+/// it back to the paper's binary decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureClass {
+    /// No observable deviation at the application level.
+    Benign,
+    /// Received data differed from the golden payload.
+    PayloadCorruption,
+    /// One or more expected frames never arrived (dropped or mangled
+    /// beyond recognition).
+    FrameLoss,
+    /// The circuit stopped sending or receiving data entirely.
+    Hang,
+    /// Generic primary-output mismatch (used by circuit-agnostic judges).
+    OutputMismatch,
+}
+
+impl FailureClass {
+    /// All classes, in tally order.
+    pub const ALL: [FailureClass; 5] = [
+        FailureClass::Benign,
+        FailureClass::PayloadCorruption,
+        FailureClass::FrameLoss,
+        FailureClass::Hang,
+        FailureClass::OutputMismatch,
+    ];
+
+    /// `true` for every class except [`FailureClass::Benign`].
+    pub fn is_failure(self) -> bool {
+        !matches!(self, FailureClass::Benign)
+    }
+
+    /// Position of the class in [`FailureClass::ALL`].
+    pub fn tally_index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class is in ALL")
+    }
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureClass::Benign => "benign",
+            FailureClass::PayloadCorruption => "payload-corruption",
+            FailureClass::FrameLoss => "frame-loss",
+            FailureClass::Hang => "hang",
+            FailureClass::OutputMismatch => "output-mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_is_not_failure() {
+        assert!(!FailureClass::Benign.is_failure());
+        for class in FailureClass::ALL {
+            if class != FailureClass::Benign {
+                assert!(class.is_failure(), "{class} should be a failure");
+            }
+        }
+    }
+
+    #[test]
+    fn tally_index_round_trips() {
+        for (i, class) in FailureClass::ALL.iter().enumerate() {
+            assert_eq!(class.tally_index(), i);
+        }
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(FaultKind::Seu.to_string(), "SEU");
+        assert_eq!(FailureClass::Hang.to_string(), "hang");
+    }
+}

@@ -1,0 +1,108 @@
+//! The common regression-model interface.
+
+/// A supervised regression model.
+///
+/// The interface mirrors scikit-learn's estimator API: `fit` consumes a
+/// design matrix (`x[i]` is sample `i`'s feature vector) and targets,
+/// `predict` maps feature vectors to estimates. Models are `fit` at most
+/// once; fitting again replaces the previous state.
+pub trait Regressor {
+    /// Learn the model parameters from training data.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on empty training sets or ragged feature
+    /// matrices — those are programming errors of the caller.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
+
+    /// Predict the target for one feature vector.
+    fn predict_one(&self, x: &[f64]) -> f64;
+
+    /// Predict targets for a batch of feature vectors.
+    fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|row| self.predict_one(row)).collect()
+    }
+}
+
+impl Regressor for Box<dyn Regressor> {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        (**self).fit(x, y)
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        (**self).predict_one(x)
+    }
+
+    fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        (**self).predict(x)
+    }
+}
+
+impl Regressor for Box<dyn Regressor + Send + Sync> {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        (**self).fit(x, y)
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        (**self).predict_one(x)
+    }
+
+    fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        (**self).predict(x)
+    }
+}
+
+/// Validate a training set; shared by every implementation.
+pub(crate) fn check_training_set(x: &[Vec<f64>], y: &[f64]) {
+    assert!(!x.is_empty(), "empty training set");
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    let d = x[0].len();
+    assert!(d > 0, "zero-dimensional features");
+    assert!(
+        x.iter().all(|r| r.len() == d),
+        "ragged feature matrix"
+    );
+    assert!(
+        x.iter().flatten().all(|v| v.is_finite()) && y.iter().all(|v| v.is_finite()),
+        "non-finite values in training data"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Mean(f64);
+
+    impl Regressor for Mean {
+        fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+            check_training_set(x, y);
+            self.0 = y.iter().sum::<f64>() / y.len() as f64;
+        }
+
+        fn predict_one(&self, _x: &[f64]) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_batch_predict() {
+        let mut m = Mean(0.0);
+        m.fit(&[vec![1.0], vec![2.0]], &[10.0, 20.0]);
+        assert_eq!(m.predict(&[vec![0.0], vec![9.0]]), vec![15.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut m = Mean(0.0);
+        m.fit(&[vec![1.0]], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_panics() {
+        let mut m = Mean(0.0);
+        m.fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]);
+    }
+}

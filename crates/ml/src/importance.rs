@@ -1,0 +1,133 @@
+//! Permutation feature importance.
+//!
+//! The paper's future work states "the value of each feature needs to be
+//! evaluated separately"; permutation importance does exactly that: the
+//! drop in held-out R² when one feature column is randomly shuffled
+//! measures how much the model relies on it.
+
+use crate::estimator::Regressor;
+use crate::metrics::r2;
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Importance of one feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureImportance {
+    /// Column index of the feature.
+    pub column: usize,
+    /// Mean R² drop over the repetitions (higher = more important).
+    pub mean_drop: f64,
+    /// Standard deviation of the drop across repetitions.
+    pub std_drop: f64,
+}
+
+/// Compute permutation importance of every feature on held-out data.
+///
+/// The model must already be fitted; `x`/`y` should be an evaluation split
+/// the model has not seen. Each column is shuffled `repeats` times with
+/// seeds derived from `seed`.
+///
+/// # Panics
+///
+/// Panics if `x` is empty/ragged, lengths mismatch, or `repeats == 0`.
+pub fn permutation_importance<M: Regressor + ?Sized>(
+    model: &M,
+    x: &[Vec<f64>],
+    y: &[f64],
+    repeats: usize,
+    seed: u64,
+) -> Vec<FeatureImportance> {
+    assert!(!x.is_empty(), "empty evaluation set");
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    assert!(repeats > 0, "repeats must be positive");
+    let d = x[0].len();
+    assert!(x.iter().all(|r| r.len() == d), "ragged matrix");
+
+    let baseline = r2(y, &model.predict(x));
+    let mut out = Vec::with_capacity(d);
+    for col in 0..d {
+        let mut drops = Vec::with_capacity(repeats);
+        for rep in 0..repeats {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(seed ^ ((col as u64) << 24) ^ rep as u64);
+            let mut perm: Vec<usize> = (0..x.len()).collect();
+            perm.shuffle(&mut rng);
+            let shuffled: Vec<Vec<f64>> = x
+                .iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    let mut r = row.clone();
+                    r[col] = x[perm[i]][col];
+                    r
+                })
+                .collect();
+            let score = r2(y, &model.predict(&shuffled));
+            drops.push(baseline - score);
+        }
+        let mean = drops.iter().sum::<f64>() / repeats as f64;
+        let var = drops.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / repeats as f64;
+        out.push(FeatureImportance {
+            column: col,
+            mean_drop: mean,
+            std_drop: var.sqrt(),
+        });
+    }
+    out
+}
+
+/// Sort importances by decreasing mean drop.
+pub fn ranked(mut importances: Vec<FeatureImportance>) -> Vec<FeatureImportance> {
+    importances.sort_by(|a, b| b.mean_drop.total_cmp(&a.mean_drop));
+    importances
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DecisionTreeRegressor, Regressor};
+
+    #[test]
+    fn informative_feature_ranks_above_noise() {
+        // y depends on column 0 only; columns 1-2 are noise.
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                vec![
+                    (i % 10) as f64,
+                    ((i * 37) % 17) as f64,
+                    ((i * 101) % 13) as f64,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let mut m = DecisionTreeRegressor::new(8, 2, 1);
+        m.fit(&x, &y);
+        let imp = permutation_importance(&m, &x, &y, 5, 42);
+        assert!(imp[0].mean_drop > 0.5, "signal column drop {}", imp[0].mean_drop);
+        assert!(imp[1].mean_drop < 0.1, "noise column drop {}", imp[1].mean_drop);
+        assert!(imp[2].mean_drop < 0.1);
+        let order = ranked(imp);
+        assert_eq!(order[0].column, 0);
+    }
+
+    #[test]
+    fn importance_is_deterministic_per_seed() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0]).collect();
+        let mut m = DecisionTreeRegressor::new(6, 2, 1);
+        m.fit(&x, &y);
+        let a = permutation_importance(&m, &x, &y, 3, 7);
+        let b = permutation_importance(&m, &x, &y, 3, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats must be positive")]
+    fn zero_repeats_panics() {
+        let x = vec![vec![1.0]];
+        let y = vec![1.0];
+        let mut m = DecisionTreeRegressor::new(2, 2, 1);
+        m.fit(&x, &y);
+        let _ = permutation_importance(&m, &x, &y, 0, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Linear models: ordinary least squares and ridge regression.
+
+use crate::estimator::{check_training_set, Regressor};
+use crate::linalg::{cholesky_solve, Matrix};
+
+/// Ordinary Linear Least Squares (the paper's §IV-B.1 baseline).
+///
+/// Fits `y ≈ w·x + b` by minimising the residual sum of squares via
+/// Householder QR.
+///
+/// # Example
+///
+/// ```
+/// use ffr_ml::{LinearRegression, Regressor};
+///
+/// let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+/// let y = vec![1.0, 3.0, 5.0]; // y = 2x + 1
+/// let mut m = LinearRegression::new();
+/// m.fit(&x, &y);
+/// assert!((m.predict_one(&[3.0]) - 7.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// Unfitted model.
+    pub fn new() -> LinearRegression {
+        LinearRegression::default()
+    }
+
+    /// Learned coefficients (empty before `fit`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        check_training_set(x, y);
+        // Augment with a bias column.
+        let rows: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| {
+                let mut v = r.clone();
+                v.push(1.0);
+                v
+            })
+            .collect();
+        let a = Matrix::from_rows(&rows);
+        let mut sol = a.solve_least_squares(y);
+        self.intercept = sol.pop().expect("bias column present");
+        self.weights = sol;
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "model/input dimension mismatch");
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.intercept
+    }
+}
+
+/// Ridge regression: least squares with an L2 penalty `alpha` on the
+/// weights (not the intercept). More stable than OLS on collinear feature
+/// sets like the paper's.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    /// L2 regularisation strength.
+    alpha: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl RidgeRegression {
+    /// Ridge model with penalty `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha < 0`.
+    pub fn new(alpha: f64) -> RidgeRegression {
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        RidgeRegression {
+            alpha,
+            weights: Vec::new(),
+            intercept: 0.0,
+        }
+    }
+
+    /// Learned coefficients (empty before `fit`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Regressor for RidgeRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        check_training_set(x, y);
+        let n = x.len() as f64;
+        let d = x[0].len();
+        // Center targets and features so the intercept is unpenalised.
+        let x_mean: Vec<f64> = (0..d).map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n).collect();
+        let y_mean = y.iter().sum::<f64>() / n;
+        let centered: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| r.iter().zip(&x_mean).map(|(v, m)| v - m).collect())
+            .collect();
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+        let a = Matrix::from_rows(&centered);
+        let mut g = a.gram();
+        for i in 0..d {
+            let v = g.get(i, i) + self.alpha;
+            g.set(i, i, v);
+        }
+        let rhs = a.t_matvec(&yc);
+        let w = cholesky_solve(&g, &rhs).unwrap_or_else(|| {
+            // alpha = 0 on singular data: tiny jitter.
+            let mut g2 = a.gram();
+            for i in 0..d {
+                let v = g2.get(i, i) + 1e-8;
+                g2.set(i, i, v);
+            }
+            cholesky_solve(&g2, &rhs).expect("jittered gram is SPD")
+        });
+        self.intercept = y_mean - w.iter().zip(&x_mean).map(|(wi, m)| wi * m).sum::<f64>();
+        self.weights = w;
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "model/input dimension mismatch");
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    fn linear_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64, (i % 3) as f64])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 1.5 * r[0] - 2.0 * r[1] + 0.5 * r[2] + 4.0)
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn ols_recovers_exact_linear_function() {
+        let (x, y) = linear_data();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        assert!((m.weights()[0] - 1.5).abs() < 1e-9);
+        assert!((m.weights()[1] + 2.0).abs() < 1e-9);
+        assert!((m.weights()[2] - 0.5).abs() < 1e-9);
+        assert!((m.intercept() - 4.0).abs() < 1e-9);
+        let pred = m.predict(&x);
+        assert!(r2(&y, &pred) > 0.999999);
+    }
+
+    #[test]
+    fn ols_cannot_fit_nonlinear_target() {
+        // The paper's central observation: a linear model fails on a
+        // non-linear relationship.
+        let x: Vec<Vec<f64>> = (-10..=10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(r2(&y, &pred) < 0.2, "linear model must underfit x^2");
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let (x, y) = linear_data();
+        let mut ols = LinearRegression::new();
+        ols.fit(&x, &y);
+        let mut ridge = RidgeRegression::new(100.0);
+        ridge.fit(&x, &y);
+        let ols_norm: f64 = ols.weights().iter().map(|w| w * w).sum();
+        let ridge_norm: f64 = ridge.weights().iter().map(|w| w * w).sum();
+        assert!(ridge_norm < ols_norm, "{ridge_norm} !< {ols_norm}");
+    }
+
+    #[test]
+    fn ridge_zero_alpha_matches_ols() {
+        let (x, y) = linear_data();
+        let mut ols = LinearRegression::new();
+        ols.fit(&x, &y);
+        let mut ridge = RidgeRegression::new(0.0);
+        ridge.fit(&x, &y);
+        for (a, b) in ols.weights().iter().zip(ridge.weights()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!((ols.intercept() - ridge.intercept()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_handles_duplicate_columns() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let mut m = RidgeRegression::new(1e-6);
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(r2(&y, &pred) > 0.999);
+    }
+}

@@ -1,0 +1,231 @@
+//! Regression evaluation metrics (§III-C of the paper).
+//!
+//! All functions take the true targets `y` and predictions `y_hat` and
+//! panic on length mismatch or empty input, matching the paper's
+//! definitions exactly (equations 1–5).
+
+/// Mean Absolute Error (eq. 1); closer to zero is better.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mae(y: &[f64], y_hat: &[f64]) -> f64 {
+    check(y, y_hat);
+    y.iter()
+        .zip(y_hat)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y.len() as f64
+}
+
+/// Maximum Absolute Error (eq. 2); closer to zero is better.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn max_error(y: &[f64], y_hat: &[f64]) -> f64 {
+    check(y, y_hat);
+    y.iter()
+        .zip(y_hat)
+        .map(|(t, p)| (t - p).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Root Mean Squared Error (eq. 3); closer to zero is better.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(y: &[f64], y_hat: &[f64]) -> f64 {
+    check(y, y_hat);
+    (y.iter()
+        .zip(y_hat)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y.len() as f64)
+        .sqrt()
+}
+
+/// Explained Variance (eq. 4); best value 1.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn explained_variance(y: &[f64], y_hat: &[f64]) -> f64 {
+    check(y, y_hat);
+    let var_y = variance(y);
+    if var_y == 0.0 {
+        // Degenerate target: perfect iff the residual is also constant.
+        let resid: Vec<f64> = y.iter().zip(y_hat).map(|(t, p)| t - p).collect();
+        return if variance(&resid) == 0.0 { 1.0 } else { 0.0 };
+    }
+    let resid: Vec<f64> = y.iter().zip(y_hat).map(|(t, p)| t - p).collect();
+    1.0 - variance(&resid) / var_y
+}
+
+/// Coefficient of determination R² (eq. 5); best value 1.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn r2(y: &[f64], y_hat: &[f64]) -> f64 {
+    check(y, y_hat);
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let ss_tot: f64 = y.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = y.iter().zip(y_hat).map(|(t, p)| (t - p) * (t - p)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+fn variance(v: &[f64]) -> f64 {
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64
+}
+
+fn check(y: &[f64], y_hat: &[f64]) {
+    assert_eq!(y.len(), y_hat.len(), "metric input length mismatch");
+    assert!(!y.is_empty(), "metric on empty input");
+}
+
+/// The five-score bundle reported for every model in the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionScores {
+    /// Mean Absolute Error.
+    pub mae: f64,
+    /// Maximum Absolute Error.
+    pub max: f64,
+    /// Root Mean Squared Error.
+    pub rmse: f64,
+    /// Explained Variance.
+    pub ev: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+impl RegressionScores {
+    /// Compute all five metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn compute(y: &[f64], y_hat: &[f64]) -> RegressionScores {
+        RegressionScores {
+            mae: mae(y, y_hat),
+            max: max_error(y, y_hat),
+            rmse: rmse(y, y_hat),
+            ev: explained_variance(y, y_hat),
+            r2: r2(y, y_hat),
+        }
+    }
+
+    /// Element-wise mean over several score bundles (cross-validation
+    /// aggregation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn mean(scores: &[RegressionScores]) -> RegressionScores {
+        assert!(!scores.is_empty());
+        let n = scores.len() as f64;
+        RegressionScores {
+            mae: scores.iter().map(|s| s.mae).sum::<f64>() / n,
+            max: scores.iter().map(|s| s.max).sum::<f64>() / n,
+            rmse: scores.iter().map(|s| s.rmse).sum::<f64>() / n,
+            ev: scores.iter().map(|s| s.ev).sum::<f64>() / n,
+            r2: scores.iter().map(|s| s.r2).sum::<f64>() / n,
+        }
+    }
+}
+
+impl std::fmt::Display for RegressionScores {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MAE={:.3} MAX={:.3} RMSE={:.3} EV={:.3} R2={:.3}",
+            self.mae, self.max, self.rmse, self.ev, self.r2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = [0.1, 0.5, 0.9];
+        let s = RegressionScores::compute(&y, &y);
+        assert_eq!(s.mae, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.ev, 1.0);
+        assert_eq!(s.r2, 1.0);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        let y = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 5.0];
+        assert!((mae(&y, &p) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(max_error(&y, &p), 2.0);
+        assert!((rmse(&y, &p) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // R2: mean = 2, ss_tot = 2, ss_res = 4 -> 1 - 2 = -1.
+        assert!((r2(&y, &p) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ev_differs_from_r2_under_bias() {
+        // A constant offset hurts R² but not Explained Variance.
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let p = [2.0, 3.0, 4.0, 5.0];
+        assert!((explained_variance(&y, &p) - 1.0).abs() < 1e-12);
+        assert!(r2(&y, &p) < 1.0);
+    }
+
+    #[test]
+    fn mean_prediction_gives_zero_r2() {
+        let y = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2(&y, &p).abs() < 1e-12);
+        assert!(explained_variance(&y, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_target_edge_case() {
+        let y = [2.0, 2.0];
+        assert_eq!(r2(&y, &[2.0, 2.0]), 1.0);
+        assert_eq!(r2(&y, &[1.0, 3.0]), 0.0);
+        assert_eq!(explained_variance(&y, &[3.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn score_averaging() {
+        let a = RegressionScores {
+            mae: 0.1,
+            max: 1.0,
+            rmse: 0.2,
+            ev: 0.8,
+            r2: 0.8,
+        };
+        let b = RegressionScores {
+            mae: 0.3,
+            max: 0.0,
+            rmse: 0.4,
+            ev: 0.6,
+            r2: 0.4,
+        };
+        let m = RegressionScores::mean(&[a, b]);
+        assert!((m.mae - 0.2).abs() < 1e-12);
+        assert!((m.r2 - 0.6).abs() < 1e-12);
+        let shown = m.to_string();
+        assert!(shown.contains("R2=0.600"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+}

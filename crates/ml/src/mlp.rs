@@ -1,0 +1,251 @@
+//! Multi-layer perceptron regression (the paper's future-work "Multi-Layer
+//! Perception Neural Network").
+
+use crate::estimator::{check_training_set, Regressor};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Hidden-layer activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn f(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    fn df(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - x.tanh() * x.tanh(),
+        }
+    }
+}
+
+/// A feed-forward network with a linear output neuron, trained by
+/// full-batch Adam on squared loss.
+///
+/// Intentionally small: the paper's datasets are ~1000 samples ×
+/// 25 features, where a couple of modest hidden layers suffice.
+#[derive(Debug, Clone)]
+pub struct MlpRegressor {
+    hidden: Vec<usize>,
+    activation: Activation,
+    learning_rate: f64,
+    epochs: usize,
+    seed: u64,
+    // weights[l][j][i]: layer l, neuron j, input i; biases[l][j].
+    weights: Vec<Vec<Vec<f64>>>,
+    biases: Vec<Vec<f64>>,
+}
+
+impl MlpRegressor {
+    /// Network with the given hidden-layer sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hidden layer has zero width or `epochs == 0`.
+    pub fn new(hidden: Vec<usize>, activation: Activation, epochs: usize, seed: u64) -> Self {
+        assert!(hidden.iter().all(|&h| h > 0), "zero-width hidden layer");
+        assert!(epochs > 0);
+        MlpRegressor {
+            hidden,
+            activation,
+            learning_rate: 0.01,
+            epochs,
+            seed,
+            weights: Vec::new(),
+            biases: Vec::new(),
+        }
+    }
+
+    /// Override the Adam learning rate (default 0.01).
+    pub fn with_learning_rate(mut self, lr: f64) -> MlpRegressor {
+        self.learning_rate = lr;
+        self
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        // Returns (pre-activations, activations) per layer; activations[0] = input.
+        let mut acts = vec![x.to_vec()];
+        let mut pres = Vec::new();
+        for (l, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let input = acts.last().expect("non-empty");
+            let pre: Vec<f64> = w
+                .iter()
+                .zip(b)
+                .map(|(wj, bj)| wj.iter().zip(input).map(|(a, v)| a * v).sum::<f64>() + bj)
+                .collect();
+            let is_output = l == self.weights.len() - 1;
+            let act: Vec<f64> = if is_output {
+                pre.clone()
+            } else {
+                pre.iter().map(|&p| self.activation.f(p)).collect()
+            };
+            pres.push(pre);
+            acts.push(act);
+        }
+        (pres, acts)
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        check_training_set(x, y);
+        let d = x[0].len();
+        let mut sizes = vec![d];
+        sizes.extend(&self.hidden);
+        sizes.push(1);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        self.weights = (1..sizes.len())
+            .map(|l| {
+                let fan_in = sizes[l - 1] as f64;
+                let scale = (2.0 / fan_in).sqrt();
+                (0..sizes[l])
+                    .map(|_| {
+                        (0..sizes[l - 1])
+                            .map(|_| rng.gen_range(-scale..scale))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        self.biases = (1..sizes.len()).map(|l| vec![0.0; sizes[l]]).collect();
+
+        // Adam state.
+        let mut mw: Vec<Vec<Vec<f64>>> = self
+            .weights
+            .iter()
+            .map(|l| l.iter().map(|n| vec![0.0; n.len()]).collect())
+            .collect();
+        let mut vw = mw.clone();
+        let mut mb: Vec<Vec<f64>> = self.biases.iter().map(|l| vec![0.0; l.len()]).collect();
+        let mut vb = mb.clone();
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+
+        let n = x.len() as f64;
+        for epoch in 1..=self.epochs {
+            // Accumulate full-batch gradients.
+            let mut gw: Vec<Vec<Vec<f64>>> = self
+                .weights
+                .iter()
+                .map(|l| l.iter().map(|nrn| vec![0.0; nrn.len()]).collect())
+                .collect();
+            let mut gb: Vec<Vec<f64>> = self.biases.iter().map(|l| vec![0.0; l.len()]).collect();
+
+            for (xi, &yi) in x.iter().zip(y) {
+                let (pres, acts) = self.forward(xi);
+                let layers = self.weights.len();
+                // Output delta (squared loss, linear output).
+                let mut delta = vec![2.0 * (acts[layers][0] - yi) / n];
+                for l in (0..layers).rev() {
+                    for (j, &dj) in delta.iter().enumerate() {
+                        gb[l][j] += dj;
+                        for i in 0..acts[l].len() {
+                            gw[l][j][i] += dj * acts[l][i];
+                        }
+                    }
+                    if l == 0 {
+                        break;
+                    }
+                    let mut next = vec![0.0; acts[l].len()];
+                    for (j, &dj) in delta.iter().enumerate() {
+                        for i in 0..next.len() {
+                            next[i] += dj * self.weights[l][j][i];
+                        }
+                    }
+                    for (i, nd) in next.iter_mut().enumerate() {
+                        *nd *= self.activation.df(pres[l - 1][i]);
+                    }
+                    delta = next;
+                }
+            }
+
+            // Adam update.
+            let t = epoch as f64;
+            let lr_t = self.learning_rate * (1.0 - b2.powf(t)).sqrt() / (1.0 - b1.powf(t));
+            for l in 0..self.weights.len() {
+                for j in 0..self.weights[l].len() {
+                    for i in 0..self.weights[l][j].len() {
+                        let g = gw[l][j][i];
+                        mw[l][j][i] = b1 * mw[l][j][i] + (1.0 - b1) * g;
+                        vw[l][j][i] = b2 * vw[l][j][i] + (1.0 - b2) * g * g;
+                        self.weights[l][j][i] -= lr_t * mw[l][j][i] / (vw[l][j][i].sqrt() + eps);
+                    }
+                    let g = gb[l][j];
+                    mb[l][j] = b1 * mb[l][j] + (1.0 - b1) * g;
+                    vb[l][j] = b2 * vb[l][j] + (1.0 - b2) * g * g;
+                    self.biases[l][j] -= lr_t * mb[l][j] / (vb[l][j].sqrt() + eps);
+                }
+            }
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let (_, acts) = self.forward(x);
+        acts.last().expect("output layer")[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    #[test]
+    fn learns_linear_function() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 25.0 - 1.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + 0.5).collect();
+        let mut m = MlpRegressor::new(vec![8], Activation::Tanh, 400, 1);
+        m.fit(&x, &y);
+        assert!(r2(&y, &m.predict(&x)) > 0.99);
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 40.0 - 1.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (3.0 * r[0]).sin()).collect();
+        let mut m = MlpRegressor::new(vec![16, 16], Activation::Tanh, 800, 3)
+            .with_learning_rate(0.02);
+        m.fit(&x, &y);
+        let score = r2(&y, &m.predict(&x));
+        assert!(score > 0.95, "r2 = {score}");
+    }
+
+    #[test]
+    fn relu_variant_trains() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 30.0 - 1.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0].abs()).collect();
+        let mut m = MlpRegressor::new(vec![12], Activation::Relu, 600, 5);
+        m.fit(&x, &y);
+        assert!(r2(&y, &m.predict(&x)) > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut a = MlpRegressor::new(vec![4], Activation::Tanh, 50, 9);
+        a.fit(&x, &y);
+        let mut b = MlpRegressor::new(vec![4], Activation::Tanh, 50, 9);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_one(&[3.0]), b.predict_one(&[3.0]));
+    }
+}

@@ -1,0 +1,275 @@
+//! CART regression trees (one of the paper's future-work models).
+
+use crate::estimator::{check_training_set, Regressor};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A binary regression tree grown by variance reduction (CART).
+///
+/// # Example
+///
+/// ```
+/// use ffr_ml::{DecisionTreeRegressor, Regressor};
+///
+/// let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+/// let y = vec![0.0, 0.0, 1.0, 1.0];
+/// let mut t = DecisionTreeRegressor::new(4, 2, 1);
+/// t.fit(&x, &y);
+/// assert_eq!(t.predict_one(&[0.5]), 0.0);
+/// assert_eq!(t.predict_one(&[2.5]), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    max_depth: usize,
+    min_samples_split: usize,
+    min_samples_leaf: usize,
+    /// Features considered per split (`None` = all); used by the forest.
+    max_features: Option<usize>,
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+impl DecisionTreeRegressor {
+    /// Tree with the given growth limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_samples_split < 2` or `min_samples_leaf == 0`.
+    pub fn new(max_depth: usize, min_samples_split: usize, min_samples_leaf: usize) -> Self {
+        assert!(min_samples_split >= 2);
+        assert!(min_samples_leaf >= 1);
+        DecisionTreeRegressor {
+            max_depth,
+            min_samples_split,
+            min_samples_leaf,
+            max_features: None,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Restrict each split to a random subset of features (random-forest
+    /// style). Only effective through [`fit_with_rng`](Self::fit_with_rng).
+    pub fn with_max_features(mut self, max_features: usize) -> Self {
+        self.max_features = Some(max_features.max(1));
+        self
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fit with an explicit RNG (needed when `max_features` is set).
+    pub fn fit_with_rng(&mut self, x: &[Vec<f64>], y: &[f64], rng: Option<&mut ChaCha8Rng>) {
+        check_training_set(x, y);
+        self.nodes.clear();
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = rng;
+        self.grow(x, y, idx, 0, &mut rng);
+    }
+
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        rng: &mut Option<&mut ChaCha8Rng>,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        let impure = idx.iter().any(|&i| (y[i] - mean).abs() > 1e-15);
+        if depth >= self.max_depth || idx.len() < self.min_samples_split || !impure {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        let d = x[0].len();
+        let features: Vec<usize> = match (self.max_features, rng.as_deref_mut()) {
+            (Some(k), Some(rng)) if k < d => {
+                // Sample k distinct features.
+                let mut all: Vec<usize> = (0..d).collect();
+                for i in 0..k {
+                    let j = rng.gen_range(i..d);
+                    all.swap(i, j);
+                }
+                all.truncate(k);
+                all
+            }
+            _ => (0..d).collect(),
+        };
+
+        let best = best_split(x, y, &idx, &features, self.min_samples_leaf);
+        let Some((feature, threshold)) = best else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| x[i][feature] <= threshold);
+        // Reserve the split node position before recursing.
+        let node_index = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean }); // placeholder
+        let left = self.grow(x, y, left_idx, depth + 1, rng);
+        let right = self.grow(x, y, right_idx, depth + 1, rng);
+        self.nodes[node_index] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_index
+    }
+}
+
+/// Best `(feature, threshold)` by weighted-variance (SSE) reduction, or
+/// `None` when no admissible split exists.
+fn best_split(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    features: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f64)> {
+    let n = idx.len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    for &f in features {
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
+        // Prefix sums over the sorted order for O(1) SSE at each cut.
+        let mut sum_left = 0.0;
+        let mut sq_left = 0.0;
+        let total_sum: f64 = order.iter().map(|&i| y[i]).sum();
+        let total_sq: f64 = order.iter().map(|&i| y[i] * y[i]).sum();
+        for cut in 1..n {
+            let i = order[cut - 1];
+            sum_left += y[i];
+            sq_left += y[i] * y[i];
+            // Can't split between equal feature values.
+            if x[order[cut - 1]][f] == x[order[cut]][f] {
+                continue;
+            }
+            if cut < min_leaf || n - cut < min_leaf {
+                continue;
+            }
+            let nl = cut as f64;
+            let nr = (n - cut) as f64;
+            let sse_left = sq_left - sum_left * sum_left / nl;
+            let sum_right = total_sum - sum_left;
+            let sse_right = (total_sq - sq_left) - sum_right * sum_right / nr;
+            let sse = sse_left + sse_right;
+            let threshold = 0.5 * (x[order[cut - 1]][f] + x[order[cut]][f]);
+            if best.map_or(true, |(_, _, b)| sse < b) {
+                best = Some((f, threshold, sse));
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        self.fit_with_rng(x, y, None);
+    }
+
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        assert!(!self.nodes.is_empty(), "predict before fit");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    #[test]
+    fn fits_piecewise_constant_exactly() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..40)
+            .map(|i| match i {
+                0..=9 => 1.0,
+                10..=24 => 5.0,
+                _ => -2.0,
+            })
+            .collect();
+        let mut t = DecisionTreeRegressor::new(8, 2, 1);
+        t.fit(&x, &y);
+        let pred = t.predict(&x);
+        assert_eq!(pred, y, "piecewise-constant target is exactly learnable");
+    }
+
+    #[test]
+    fn depth_limit_controls_complexity() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| (i % 2) as f64).collect();
+        let mut shallow = DecisionTreeRegressor::new(2, 2, 1);
+        shallow.fit(&x, &y);
+        let mut deep = DecisionTreeRegressor::new(12, 2, 1);
+        deep.fit(&x, &y);
+        assert!(shallow.num_nodes() < deep.num_nodes());
+        let r_sh = r2(&y, &shallow.predict(&x));
+        let r_dp = r2(&y, &deep.predict(&x));
+        assert!(r_dp > r_sh, "deeper tree fits alternating target better");
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut t = DecisionTreeRegressor::new(10, 2, 5);
+        t.fit(&x, &y);
+        // With min_leaf = 5 on 10 points, only one split is possible.
+        assert!(t.num_nodes() <= 3, "nodes = {}", t.num_nodes());
+    }
+
+    #[test]
+    fn multivariate_split_selection() {
+        // y depends only on feature 1; the tree must ignore feature 0.
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i * 7 % 13) as f64, if i < 25 { 0.0 } else { 1.0 }])
+            .collect();
+        let y: Vec<f64> = (0..50).map(|i| if i < 25 { -1.0 } else { 1.0 }).collect();
+        let mut t = DecisionTreeRegressor::new(3, 2, 1);
+        t.fit(&x, &y);
+        assert_eq!(t.predict_one(&[5.0, 0.0]), -1.0);
+        assert_eq!(t.predict_one(&[5.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 10];
+        let mut t = DecisionTreeRegressor::new(10, 2, 1);
+        t.fit(&x, &y);
+        assert_eq!(t.num_nodes(), 1, "pure node must not split");
+        assert_eq!(t.predict_one(&[99.0]), 3.0);
+    }
+}

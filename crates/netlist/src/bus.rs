@@ -1,0 +1,145 @@
+//! Multi-bit wire bundles used by the RTL-style builder.
+
+use crate::netlist::NetId;
+
+/// An ordered bundle of single-bit nets, LSB first.
+///
+/// `Bus` is a lightweight value: cloning copies only net ids. All logic
+/// operators live on [`NetlistBuilder`](crate::NetlistBuilder) because they
+/// allocate gates; `Bus` itself only provides structural manipulation
+/// (slicing, concatenation, bit access).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bus {
+    nets: Vec<NetId>,
+}
+
+impl Bus {
+    /// Bundle existing nets into a bus (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets` is empty.
+    pub fn from_nets(nets: Vec<NetId>) -> Bus {
+        assert!(!nets.is_empty(), "a bus must have at least one bit");
+        Bus { nets }
+    }
+
+    /// A single-bit bus.
+    pub fn single(net: NetId) -> Bus {
+        Bus { nets: vec![net] }
+    }
+
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The nets of the bus, LSB first.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// Net of bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    pub fn net(&self, i: usize) -> NetId {
+        self.nets[i]
+    }
+
+    /// Bit `i` as a single-bit bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    pub fn bit(&self, i: usize) -> Bus {
+        Bus::single(self.nets[i])
+    }
+
+    /// Least-significant bit as a single-bit bus.
+    pub fn lsb(&self) -> Bus {
+        self.bit(0)
+    }
+
+    /// Most-significant bit as a single-bit bus.
+    pub fn msb(&self) -> Bus {
+        self.bit(self.width() - 1)
+    }
+
+    /// Bits `range` as a new bus (`lo..hi`, LSB-based, half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bus {
+        assert!(
+            range.start < range.end && range.end <= self.width(),
+            "invalid bus slice {range:?} of width {}",
+            self.width()
+        );
+        Bus {
+            nets: self.nets[range].to_vec(),
+        }
+    }
+
+    /// Concatenate `self` (low part) with `high` (high part).
+    pub fn concat(&self, high: &Bus) -> Bus {
+        let mut nets = self.nets.clone();
+        nets.extend_from_slice(&high.nets);
+        Bus { nets }
+    }
+
+    /// Iterate over the bits as single-bit buses, LSB first.
+    pub fn bits(&self) -> impl Iterator<Item = Bus> + '_ {
+        self.nets.iter().map(|&n| Bus::single(n))
+    }
+}
+
+impl From<NetId> for Bus {
+    fn from(net: NetId) -> Bus {
+        Bus::single(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<NetId> {
+        v.iter().map(|&i| NetId::from_index(i)).collect()
+    }
+
+    #[test]
+    fn structure_ops() {
+        let b = Bus::from_nets(ids(&[0, 1, 2, 3]));
+        assert_eq!(b.width(), 4);
+        assert_eq!(b.net(2), NetId::from_index(2));
+        assert_eq!(b.lsb().net(0), NetId::from_index(0));
+        assert_eq!(b.msb().net(0), NetId::from_index(3));
+        let s = b.slice(1..3);
+        assert_eq!(s.nets(), &ids(&[1, 2])[..]);
+        let c = s.concat(&b.bit(0));
+        assert_eq!(c.nets(), &ids(&[1, 2, 0])[..]);
+        assert_eq!(b.bits().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn empty_bus_panics() {
+        let _ = Bus::from_nets(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bus slice")]
+    fn bad_slice_panics() {
+        let b = Bus::from_nets(ids(&[0, 1]));
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn from_net_id() {
+        let b: Bus = NetId::from_index(9).into();
+        assert_eq!(b.width(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+use std::fmt;
+
+/// Errors produced while constructing, validating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A register was driven (`connect`) more than once.
+    RegisterAlreadyConnected {
+        /// Name of the register.
+        name: String,
+    },
+    /// A register was never driven before `finish`.
+    RegisterUnconnected {
+        /// Name of the register.
+        name: String,
+    },
+    /// Two buses in a bitwise operation have different widths.
+    WidthMismatch {
+        /// Describes the operation that failed.
+        context: String,
+        /// Width of the left operand.
+        left: usize,
+        /// Width of the right operand.
+        right: usize,
+    },
+    /// A bus of an invalid width (e.g. zero, or >64 for literal ops) was used.
+    InvalidWidth {
+        /// Describes the operation that failed.
+        context: String,
+        /// The offending width.
+        width: usize,
+    },
+    /// A net has no driver and is not a primary input.
+    UndrivenNet {
+        /// Name of the net.
+        net: String,
+    },
+    /// A net has more than one driver.
+    MultipleDrivers {
+        /// Name of the net.
+        net: String,
+    },
+    /// A name (port, net, instance) was declared twice.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The structural-Verilog parser failed.
+    Parse {
+        /// Line number (1-based) where parsing failed.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The netlist contains a combinational cycle.
+    CombinationalCycle {
+        /// Names of some cells on the cycle (truncated for readability).
+        cells: Vec<String>,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::RegisterAlreadyConnected { name } => {
+                write!(f, "register `{name}` is already connected to a driver")
+            }
+            NetlistError::RegisterUnconnected { name } => {
+                write!(f, "register `{name}` was never connected to a driver")
+            }
+            NetlistError::WidthMismatch {
+                context,
+                left,
+                right,
+            } => write!(f, "width mismatch in {context}: {left} vs {right}"),
+            NetlistError::InvalidWidth { context, width } => {
+                write!(f, "invalid bus width {width} in {context}")
+            }
+            NetlistError::UndrivenNet { net } => write!(f, "net `{net}` has no driver"),
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has more than one driver")
+            }
+            NetlistError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::CombinationalCycle { cells } => {
+                write!(f, "combinational cycle through cells: {}", cells.join(" -> "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetlistError::WidthMismatch {
+            context: "and".into(),
+            left: 4,
+            right: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("and"));
+        assert!(s.contains('4'));
+        assert!(s.contains('8'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error + Send + Sync> = Box::new(NetlistError::DuplicateName {
+            name: "clk".into(),
+        });
+        assert!(e.to_string().contains("clk"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Summary statistics for a netlist.
+
+use crate::cell::CellKind;
+use crate::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate counts describing a [`Netlist`], mirroring the "design
+/// characteristics" tables reliability papers print for their case studies.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Module name.
+    pub name: String,
+    /// Total number of nets.
+    pub nets: usize,
+    /// Total cell instances.
+    pub cells: usize,
+    /// Combinational cell instances.
+    pub combinational: usize,
+    /// Flip-flop instances.
+    pub flip_flops: usize,
+    /// Primary input bits.
+    pub inputs: usize,
+    /// Primary output bits.
+    pub outputs: usize,
+    /// Declared register buses.
+    pub buses: usize,
+    /// Flip-flops not belonging to any bus.
+    pub single_bit_ffs: usize,
+    /// Instance count per cell kind, indexed like [`CellKind::ALL`].
+    pub per_kind: Vec<(String, usize)>,
+}
+
+impl NetlistStats {
+    /// Compute statistics for a netlist.
+    pub fn of(netlist: &Netlist) -> NetlistStats {
+        let mut per_kind_counts = [0usize; CellKind::ALL.len()];
+        for (_, cell) in netlist.cells() {
+            let idx = CellKind::ALL
+                .iter()
+                .position(|&k| k == cell.kind())
+                .expect("kind in ALL");
+            per_kind_counts[idx] += 1;
+        }
+        let per_kind: Vec<(String, usize)> = CellKind::ALL
+            .iter()
+            .zip(per_kind_counts)
+            .filter(|&(_, c)| c > 0)
+            .map(|(k, c)| (k.library_name().to_string(), c))
+            .collect();
+        let (buses, single_bit_ffs) = netlist.bus_summary();
+        NetlistStats {
+            name: netlist.name().to_string(),
+            nets: netlist.num_nets(),
+            cells: netlist.num_cells(),
+            combinational: netlist.num_cells() - netlist.num_ffs(),
+            flip_flops: netlist.num_ffs(),
+            inputs: netlist.primary_inputs().len(),
+            outputs: netlist.primary_outputs().len(),
+            buses,
+            single_bit_ffs,
+            per_kind,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design `{}`", self.name)?;
+        writeln!(f, "  nets:           {}", self.nets)?;
+        writeln!(f, "  cells:          {}", self.cells)?;
+        writeln!(f, "  combinational:  {}", self.combinational)?;
+        writeln!(f, "  flip-flops:     {}", self.flip_flops)?;
+        writeln!(f, "  inputs/outputs: {}/{}", self.inputs, self.outputs)?;
+        writeln!(
+            f,
+            "  buses:          {} ({} single-bit FFs)",
+            self.buses, self.single_bit_ffs
+        )?;
+        for (kind, count) in &self.per_kind {
+            writeln!(f, "    {kind:<8} {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn stats_add_up() {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.input("a", 3);
+        let bq = b.input("b", 3);
+        let x = b.xor(&a, &bq);
+        let r = b.reg("r", 3);
+        b.connect(&r, &x).unwrap();
+        b.output("o", &r.q());
+        let n = b.finish().unwrap();
+        let stats = NetlistStats::of(&n);
+        assert_eq!(stats.flip_flops, 3);
+        assert_eq!(stats.cells, stats.combinational + stats.flip_flops);
+        assert_eq!(stats.inputs, 6);
+        assert_eq!(stats.outputs, 3);
+        assert_eq!(stats.buses, 1);
+        let total: usize = stats.per_kind.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, stats.cells);
+        let display = stats.to_string();
+        assert!(display.contains("flip-flops"));
+        assert!(display.contains("DFF"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests of the netlist builder's structural invariants.
+
+use ffr_netlist::{CellKind, NetlistBuilder};
+use proptest::prelude::*;
+
+/// A compact recipe interpreted into builder calls; every recipe must
+/// produce a valid netlist.
+fn build(ops: &[u8], width: usize, with_reg: bool) -> ffr_netlist::Netlist {
+    let mut b = NetlistBuilder::new("prop");
+    let a = b.input("a", width);
+    let c = b.input("c", width);
+    let mut pool = vec![a, c];
+    for (i, &op) in ops.iter().enumerate() {
+        let x = pool[(op as usize) % pool.len()].clone();
+        let y = pool[(op as usize / 5) % pool.len()].clone();
+        let e = match op % 11 {
+            0 => b.and(&x, &y),
+            1 => b.or(&x, &y),
+            2 => b.xor(&x, &y),
+            3 => b.nand(&x, &y),
+            4 => b.nor(&x, &y),
+            5 => b.xnor(&x, &y),
+            6 => b.not(&x),
+            7 => b.add(&x, &y).0,
+            8 => b.sub(&x, &y).0,
+            9 => {
+                let s = b.reduce_or(&y);
+                b.mux(&s, &x, &y)
+            }
+            _ => {
+                let amount = (op as usize / 13) % (width + 1);
+                b.shl_const(&x, amount)
+            }
+        };
+        if with_reg && op % 3 == 0 {
+            let r = b.reg(&format!("r{i}"), width);
+            b.connect(&r, &e).expect("fresh reg");
+            pool.push(r.q());
+        } else {
+            pool.push(e);
+        }
+    }
+    let out = pool.last().expect("non-empty").clone();
+    b.output("out", &out);
+    b.finish().expect("recipe produces a valid netlist")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated netlist validates and has consistent indices.
+    #[test]
+    fn builder_invariants(
+        ops in proptest::collection::vec(0u8..=255, 1..24),
+        width in 1usize..8,
+        with_reg in any::<bool>(),
+    ) {
+        let n = build(&ops, width, with_reg);
+        prop_assert!(n.validate().is_ok());
+        // Driver/reader tables are mutually consistent.
+        for (cid, cell) in n.cells() {
+            prop_assert_eq!(n.driver(cell.output()), Some(cid));
+            for &input in cell.inputs() {
+                prop_assert!(n.readers(input).contains(&cid), "reader table incomplete");
+            }
+            prop_assert_eq!(cell.inputs().len(), cell.kind().num_inputs());
+        }
+        // Every flip-flop id maps back to a sequential cell.
+        for (ff, cid) in n.ffs() {
+            prop_assert!(n.cell(cid).kind().is_sequential());
+            prop_assert_eq!(n.ff_of_cell(cid), Some(ff));
+        }
+        // Bus registry is consistent.
+        for bus in n.buses() {
+            prop_assert!(bus.len() > 1);
+            for (pos, &ff) in bus.ffs().iter().enumerate() {
+                let (bi, p) = n.bus_of_ff(ff).expect("member resolves");
+                prop_assert_eq!(n.buses()[bi].name(), bus.name());
+                prop_assert_eq!(p, pos);
+            }
+        }
+    }
+
+    /// Drive strength never decreases with fanout, across the whole
+    /// netlist.
+    #[test]
+    fn drive_strengths_track_fanout(
+        ops in proptest::collection::vec(0u8..=255, 1..20),
+        width in 1usize..6,
+    ) {
+        let n = build(&ops, width, true);
+        for (_, cell) in n.cells() {
+            let fanout = n.readers(cell.output()).len();
+            let expected = ffr_netlist::DriveStrength::for_fanout(fanout);
+            prop_assert_eq!(cell.drive(), expected);
+        }
+    }
+
+    /// Tie cells are shared: at most one Const0 and one Const1 per design.
+    #[test]
+    fn tie_cells_are_shared(
+        values in proptest::collection::vec(0u64..256, 1..8),
+    ) {
+        let mut b = NetlistBuilder::new("ties");
+        let a = b.input("a", 8);
+        let mut acc = a;
+        for &v in &values {
+            let lit = b.lit(8, v);
+            acc = b.xor(&acc, &lit);
+        }
+        b.output("o", &acc);
+        let n = b.finish().expect("valid");
+        let c0 = n.cells().filter(|(_, c)| c.kind() == CellKind::Const0).count();
+        let c1 = n.cells().filter(|(_, c)| c.kind() == CellKind::Const1).count();
+        prop_assert!(c0 <= 1, "{c0} const0 cells");
+        prop_assert!(c1 <= 1, "{c1} const1 cells");
+    }
+}

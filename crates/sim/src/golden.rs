@@ -1,0 +1,207 @@
+//! Golden (fault-free) reference run artifacts.
+//!
+//! The fault-injection engine needs three things from the reference run:
+//!
+//! 1. the **output trace** of the watched ports (to classify failures),
+//! 2. a **per-cycle journal of the packed flip-flop state** — both to
+//!    restart simulation at an arbitrary cycle (checkpointing) and to detect
+//!    when a faulty lane has re-converged to the fault-free state,
+//! 3. the **activity trace** (reused as the dynamic feature source).
+
+use crate::activity::ActivityTrace;
+use crate::compile::CompiledCircuit;
+use crate::engine::SimState;
+use crate::testbench::{InputFrame, OutputTrace, Stimulus, WatchList};
+
+/// Packed lane-0 flip-flop state for every cycle of a run.
+///
+/// Entry `c` is the state *entering* cycle `c` (i.e. before the inputs of
+/// cycle `c` are applied), so restoring entry `c` and replaying the stimulus
+/// from cycle `c` reproduces the run exactly.
+#[derive(Debug, Clone)]
+pub struct StateJournal {
+    words_per_cycle: usize,
+    cycles: u64,
+    data: Vec<u64>,
+}
+
+impl StateJournal {
+    fn new(words_per_cycle: usize, cycles: u64) -> StateJournal {
+        StateJournal {
+            words_per_cycle,
+            cycles,
+            data: vec![0; words_per_cycle * cycles as usize],
+        }
+    }
+
+    /// Number of journalled cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Packed flip-flop state entering `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is out of range.
+    pub fn state_at(&self, cycle: u64) -> &[u64] {
+        assert!(cycle < self.cycles, "cycle {cycle} beyond journal");
+        let row = cycle as usize * self.words_per_cycle;
+        &self.data[row..row + self.words_per_cycle]
+    }
+
+    /// Value of one flip-flop at `cycle`.
+    pub fn ff_bit(&self, cycle: u64, ff: ffr_netlist::FfId) -> bool {
+        let s = self.state_at(cycle);
+        (s[ff.index() / 64] >> (ff.index() % 64)) & 1 == 1
+    }
+
+    fn record(&mut self, cc: &CompiledCircuit, state: &SimState, scratch: &mut Vec<u64>) {
+        let cycle = state.cycle();
+        state.pack_ff_state(cc, 0, scratch);
+        let row = cycle as usize * self.words_per_cycle;
+        self.data[row..row + self.words_per_cycle].copy_from_slice(scratch);
+    }
+}
+
+/// Legacy alias kept for API compatibility: a journal entry used as an
+/// explicit checkpoint.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Cycle the state belongs to.
+    pub cycle: u64,
+    /// Packed flip-flop state entering that cycle.
+    pub packed: Vec<u64>,
+}
+
+/// All artifacts of the golden (fault-free) reference run.
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    /// Watched-output recording of the fault-free run.
+    pub trace: OutputTrace,
+    /// Per-flip-flop activity statistics (dynamic features).
+    pub activity: ActivityTrace,
+    /// Per-cycle packed flip-flop state.
+    pub journal: StateJournal,
+}
+
+impl GoldenRun {
+    /// Execute the stimulus from reset and collect all reference artifacts.
+    pub fn capture(cc: &CompiledCircuit, stimulus: &dyn Stimulus, watch: &WatchList) -> GoldenRun {
+        let cycles = stimulus.num_cycles();
+        let mut state = SimState::new(cc);
+        let mut frame = InputFrame::new(cc.num_inputs());
+        let mut trace = OutputTrace::new(0, cycles, watch.len());
+        let mut activity = ActivityTrace::new(cc.num_ffs());
+        let mut journal = StateJournal::new(cc.ff_words(), cycles);
+        let mut scratch = Vec::new();
+        for cycle in 0..cycles {
+            journal.record(cc, &state, &mut scratch);
+            frame.clear();
+            stimulus.drive(cycle, &mut frame);
+            frame.apply(cc, &mut state);
+            state.eval(cc);
+            trace.record(cc, watch, &state);
+            activity.record(cc, &state);
+            state.tick(cc);
+        }
+        GoldenRun {
+            trace,
+            activity,
+            journal,
+        }
+    }
+
+    /// Restore a [`SimState`] to the state entering `cycle`, broadcast to
+    /// all lanes, ready for stimulus replay.
+    pub fn restore(&self, cc: &CompiledCircuit, cycle: u64) -> SimState {
+        let mut state = SimState::new(cc);
+        state.load_ff_state_broadcast(cc, self.journal.state_at(cycle));
+        state.set_cycle(cycle);
+        state
+    }
+
+    /// Extract an explicit checkpoint (rarely needed; prefer
+    /// [`GoldenRun::restore`]).
+    pub fn checkpoint(&self, cycle: u64) -> Checkpoint {
+        Checkpoint {
+            cycle,
+            packed: self.journal.state_at(cycle).to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffr_netlist::NetlistBuilder;
+
+    struct CountEnable;
+
+    impl Stimulus for CountEnable {
+        fn num_cycles(&self) -> u64 {
+            40
+        }
+
+        fn drive(&self, cycle: u64, frame: &mut InputFrame) {
+            frame.set(0, cycle % 3 != 0);
+        }
+    }
+
+    fn counter() -> CompiledCircuit {
+        let mut b = NetlistBuilder::new("c");
+        let en = b.input("en", 1);
+        let r = b.reg("count", 6);
+        let next = b.inc(&r.q());
+        b.connect_en(&r, &en, &next).unwrap();
+        b.output("value", &r.q());
+        CompiledCircuit::compile(b.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn journal_matches_replay() {
+        let cc = counter();
+        let watch = WatchList::all(&cc);
+        let golden = GoldenRun::capture(&cc, &CountEnable, &watch);
+        assert_eq!(golden.journal.cycles(), 40);
+
+        // Restore at cycle 17 and replay; outputs must match the golden
+        // trace for every remaining cycle.
+        let mut state = golden.restore(&cc, 17);
+        let mut frame = InputFrame::new(cc.num_inputs());
+        for cycle in 17..40u64 {
+            frame.clear();
+            CountEnable.drive(cycle, &mut frame);
+            frame.apply(&cc, &mut state);
+            state.eval(&cc);
+            for w in 0..watch.len() {
+                let golden_bit = golden.trace.bit(w, cycle, 0);
+                let got = (state.output_word(&cc, watch.indices()[w]) >> 5) & 1 == 1;
+                assert_eq!(got, golden_bit, "cycle {cycle} output {w}");
+            }
+            state.tick(&cc);
+        }
+    }
+
+    #[test]
+    fn journal_state_entering_cycle_zero_is_reset() {
+        let cc = counter();
+        let watch = WatchList::all(&cc);
+        let golden = GoldenRun::capture(&cc, &CountEnable, &watch);
+        let s0 = golden.journal.state_at(0);
+        assert!(s0.iter().all(|&w| w == 0), "reset state all zeros");
+        for ff in 0..cc.num_ffs() {
+            assert!(!golden.journal.ff_bit(0, ffr_netlist::FfId::from_index(ff)));
+        }
+    }
+
+    #[test]
+    fn checkpoint_equals_journal_entry() {
+        let cc = counter();
+        let watch = WatchList::all(&cc);
+        let golden = GoldenRun::capture(&cc, &CountEnable, &watch);
+        let cp = golden.checkpoint(9);
+        assert_eq!(cp.cycle, 9);
+        assert_eq!(cp.packed.as_slice(), golden.journal.state_at(9));
+    }
+}

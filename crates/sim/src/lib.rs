@@ -1,0 +1,36 @@
+//! Levelized, bit-parallel gate-level logic simulation.
+//!
+//! This crate is the workspace's substitute for the commercial logic
+//! simulator the paper used. It compiles a
+//! [`Netlist`](ffr_netlist::Netlist) into a flat, topologically ordered
+//! operation list and evaluates it cycle by cycle with **64 independent
+//! simulation lanes** packed into each `u64` word (PROOFS-style
+//! bit-parallelism). The fault-injection engine uses the lanes to simulate
+//! 64 fault scenarios at once; plain functional simulation uses lane 0.
+//!
+//! Main entry points:
+//!
+//! * [`CompiledCircuit::compile`] — levelize and compile a netlist,
+//! * [`SimState`] — per-run state: net values, flip-flop contents, cycle,
+//! * [`run_testbench`] — drive a [`Stimulus`] against a circuit while
+//!   recording an [`OutputTrace`] and per-flip-flop [`ActivityTrace`],
+//! * [`GoldenRun`] — reference run artifacts consumed by `ffr-fault`:
+//!   per-cycle flip-flop state journal, checkpoints, output trace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod compile;
+mod engine;
+mod golden;
+mod testbench;
+pub mod vcd;
+
+pub use activity::ActivityTrace;
+pub use compile::{CompiledCircuit, SimError};
+pub use engine::SimState;
+pub use golden::{Checkpoint, GoldenRun, StateJournal};
+pub use testbench::{
+    run_testbench, InputFrame, LaneView, OutputTrace, Stimulus, TestbenchRun, WatchList,
+};

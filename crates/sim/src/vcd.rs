@@ -1,0 +1,163 @@
+//! Minimal VCD (Value Change Dump) writer for debugging simulations.
+//!
+//! Only lane 0 is dumped. The output is accepted by GTKWave and similar
+//! viewers. This module is a developer convenience and is not used by the
+//! experiment pipeline.
+
+use crate::compile::CompiledCircuit;
+use crate::engine::SimState;
+use ffr_netlist::NetId;
+use std::io::{self, Write};
+
+/// Streaming VCD writer for a chosen set of nets.
+///
+/// # Example
+///
+/// ```
+/// use ffr_netlist::NetlistBuilder;
+/// use ffr_sim::{CompiledCircuit, SimState};
+/// use ffr_sim::vcd::VcdWriter;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a", 1);
+/// let r = b.reg("r", 1);
+/// b.connect(&r, &a)?;
+/// b.output("q", &r.q());
+/// let cc = CompiledCircuit::compile(b.finish()?)?;
+///
+/// let nets: Vec<_> = cc.netlist().nets().map(|(id, _)| id).collect();
+/// let mut out = Vec::new();
+/// let mut vcd = VcdWriter::new(&mut out, &cc, &nets)?;
+/// let mut state = SimState::new(&cc);
+/// for cycle in 0..4 {
+///     state.set_input(&cc, 0, cycle % 2 == 0);
+///     state.eval(&cc);
+///     vcd.sample(&state)?;
+///     state.tick(&cc);
+/// }
+/// vcd.finish()?;
+/// assert!(String::from_utf8(out)?.contains("$enddefinitions"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct VcdWriter<W: Write> {
+    out: W,
+    nets: Vec<NetId>,
+    codes: Vec<String>,
+    last: Vec<Option<bool>>,
+    time: u64,
+}
+
+fn code_for(index: usize) -> String {
+    // VCD identifier codes: printable ASCII 33..=126, little-endian base-94.
+    let mut i = index;
+    let mut code = String::new();
+    loop {
+        code.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    code
+}
+
+impl<W: Write> VcdWriter<W> {
+    /// Write the VCD header declaring `nets` as scalar wires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut out: W, cc: &CompiledCircuit, nets: &[NetId]) -> io::Result<VcdWriter<W>> {
+        writeln!(out, "$timescale 1ns $end")?;
+        writeln!(out, "$scope module {} $end", cc.netlist().name())?;
+        let mut codes = Vec::with_capacity(nets.len());
+        for (i, &net) in nets.iter().enumerate() {
+            let code = code_for(i);
+            let name = cc.netlist().net(net).name().replace(['[', ']'], "_");
+            writeln!(out, "$var wire 1 {code} {name} $end")?;
+            codes.push(code);
+        }
+        writeln!(out, "$upscope $end")?;
+        writeln!(out, "$enddefinitions $end")?;
+        Ok(VcdWriter {
+            out,
+            nets: nets.to_vec(),
+            codes,
+            last: vec![None; nets.len()],
+            time: 0,
+        })
+    }
+
+    /// Record the lane-0 value of every declared net at the current time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn sample(&mut self, state: &SimState) -> io::Result<()> {
+        let mut wrote_time = false;
+        for (i, &net) in self.nets.iter().enumerate() {
+            let bit = state.net_word(net) & 1 == 1;
+            if self.last[i] != Some(bit) {
+                if !wrote_time {
+                    writeln!(self.out, "#{}", self.time)?;
+                    wrote_time = true;
+                }
+                writeln!(self.out, "{}{}", if bit { '1' } else { '0' }, self.codes[i])?;
+                self.last[i] = Some(bit);
+            }
+        }
+        self.time += 1;
+        Ok(())
+    }
+
+    /// Write the final timestamp and flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> io::Result<()> {
+        writeln!(self.out, "#{}", self.time)?;
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffr_netlist::NetlistBuilder;
+
+    #[test]
+    fn identifier_codes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(code_for(i)), "duplicate code at {i}");
+        }
+    }
+
+    #[test]
+    fn writes_changes_only() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a", 1);
+        b.output("q", &a);
+        let cc = CompiledCircuit::compile(b.finish().unwrap()).unwrap();
+        let nets: Vec<_> = cc.netlist().nets().map(|(id, _)| id).collect();
+        let mut out = Vec::new();
+        let mut vcd = VcdWriter::new(&mut out, &cc, &nets).unwrap();
+        let mut state = SimState::new(&cc);
+        for cycle in 0..6 {
+            state.set_input(&cc, 0, cycle < 3);
+            state.eval(&cc);
+            vcd.sample(&state).unwrap();
+            state.tick(&cc);
+        }
+        vcd.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Exactly two change points: #0 (rise) and #3 (fall).
+        assert!(text.contains("#0\n"));
+        assert!(text.contains("#3\n"));
+        assert!(!text.contains("#1\n"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Learning curves and the cost-saving argument (Figs. 2b/3b/4b and the
+//! paper's conclusion) at example scale.
+//!
+//! Run: `cargo run --release --example learning_curve`
+
+use ffr_circuits::{Mac10geConfig, MacJudge, MacTestbench, TrafficConfig};
+use ffr_core::savings::{max_cost_reduction, render, savings_table};
+use ffr_core::{model_learning_curve, ModelKind, ReferenceDataset};
+use ffr_fault::CampaignConfig;
+use ffr_sim::GoldenRun;
+
+fn main() {
+    let (cc, tb, watch, extractor) =
+        MacTestbench::setup(Mac10geConfig::small(), &TrafficConfig::small());
+    let golden = GoldenRun::capture(&cc, &tb, &watch);
+    let judge = MacJudge::new(extractor, &golden);
+    eprintln!("collecting reference dataset...");
+    let config = CampaignConfig::new(tb.injection_window())
+        .with_injections(40)
+        .with_seed(11);
+    let ds = ReferenceDataset::collect(&cc, &tb, &watch, &judge, &config, |_, _| {});
+
+    let fractions = [0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+    let curve = model_learning_curve(ModelKind::Knn, &ds, &fractions, 10, 5);
+    print!("{curve}");
+
+    println!("\ncost/accuracy trade-off:");
+    let table = savings_table(&curve.points);
+    print!("{}", render(&table));
+    if let Some(row) = max_cost_reduction(&curve.points, 0.10) {
+        println!(
+            "=> a {:.1}x cheaper campaign (training on {:.0}% of flip-flops) stays within 10% of peak R2",
+            row.cost_reduction,
+            row.train_fraction * 100.0
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! The paper's Table I at example scale: collect a reference dataset on
+//! the small MAC and compare the three models (plus the future-work ones)
+//! under stratified cross-validation.
+//!
+//! Run: `cargo run --release --example model_comparison`
+
+use ffr_circuits::{Mac10geConfig, MacJudge, MacTestbench, TrafficConfig};
+use ffr_core::{compare_models, ModelKind, ReferenceDataset};
+use ffr_fault::CampaignConfig;
+use ffr_sim::GoldenRun;
+
+fn main() {
+    let (cc, tb, watch, extractor) =
+        MacTestbench::setup(Mac10geConfig::small(), &TrafficConfig::small());
+    let golden = GoldenRun::capture(&cc, &tb, &watch);
+    let judge = MacJudge::new(extractor, &golden);
+
+    eprintln!("collecting reference dataset ({} FFs x 40 injections)...", cc.num_ffs());
+    let config = CampaignConfig::new(tb.injection_window())
+        .with_injections(40)
+        .with_seed(3);
+    let ds = ReferenceDataset::collect(&cc, &tb, &watch, &judge, &config, |_, _| {});
+
+    let kinds = [
+        ModelKind::LinearLeastSquares,
+        ModelKind::Knn,
+        ModelKind::SvrRbf,
+        ModelKind::DecisionTree,
+        ModelKind::RandomForest,
+        ModelKind::GradientBoosting,
+    ];
+    let cmp = compare_models(&kinds, &ds, 10, 0.5, 42);
+    print!("{cmp}");
+    println!();
+    println!("expected shape (as in the paper): the linear model is clearly");
+    println!("worst; the non-linear models are all far better.");
+}

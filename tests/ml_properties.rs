@@ -1,0 +1,154 @@
+//! Property-based tests of the ML library's invariants.
+
+use ffr_ml::metrics::{explained_variance, mae, max_error, r2, rmse};
+use ffr_ml::model_selection::{KFold, StratifiedKFold};
+use ffr_ml::{
+    DecisionTreeRegressor, Distance, KnnRegressor, LinearRegression, Regressor, StandardScaler,
+    WeightScheme,
+};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MAE <= RMSE <= MAX for any prediction.
+    #[test]
+    fn metric_ordering(n in 2usize..40, seed in any::<u64>()) {
+        let mut lcg = seed | 1;
+        let mut gen = || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((lcg >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let y: Vec<f64> = (0..n).map(|_| gen()).collect();
+        let p: Vec<f64> = (0..n).map(|_| gen()).collect();
+        let mae_v = mae(&y, &p);
+        let rmse_v = rmse(&y, &p);
+        let max_v = max_error(&y, &p);
+        prop_assert!(mae_v <= rmse_v + 1e-12, "{mae_v} > {rmse_v}");
+        prop_assert!(rmse_v <= max_v + 1e-12, "{rmse_v} > {max_v}");
+        // R2 and EV are at most 1.
+        prop_assert!(r2(&y, &p) <= 1.0 + 1e-12);
+        prop_assert!(explained_variance(&y, &p) <= 1.0 + 1e-12);
+    }
+
+    /// Perfect predictions maximise every metric.
+    #[test]
+    fn perfect_prediction_is_optimal(y in finite_vec(10)) {
+        prop_assert_eq!(mae(&y, &y), 0.0);
+        prop_assert_eq!(rmse(&y, &y), 0.0);
+        prop_assert_eq!(max_error(&y, &y), 0.0);
+        prop_assert_eq!(r2(&y, &y), 1.0);
+        prop_assert_eq!(explained_variance(&y, &y), 1.0);
+    }
+
+    /// OLS residuals are orthogonal to the fitted plane: R² on training
+    /// data is never negative (an intercept-only model is always nested).
+    #[test]
+    fn ols_training_r2_non_negative(
+        rows in proptest::collection::vec(finite_vec(3), 5..30),
+        coef in finite_vec(3),
+        noise_seed in any::<u64>(),
+    ) {
+        let mut lcg = noise_seed | 1;
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let noise = ((lcg >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+                r.iter().zip(&coef).map(|(a, b)| a * b).sum::<f64>() + noise
+            })
+            .collect();
+        let mut m = LinearRegression::new();
+        m.fit(&rows, &y);
+        let pred = m.predict(&rows);
+        prop_assert!(r2(&y, &pred) >= -1e-9, "r2 = {}", r2(&y, &pred));
+    }
+
+    /// k-NN with k = 1 memorises the training set exactly.
+    #[test]
+    fn knn_k1_memorises(
+        rows in proptest::collection::vec(finite_vec(2), 3..20),
+        targets_seed in any::<u64>(),
+    ) {
+        // Deduplicate identical points (they would average).
+        let mut rows = rows;
+        rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rows.dedup();
+        let mut lcg = targets_seed | 1;
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|_| {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (lcg >> 40) as f64
+            })
+            .collect();
+        let mut m = KnnRegressor::new(1, Distance::Euclidean, WeightScheme::Uniform);
+        m.fit(&rows, &y);
+        for (r, t) in rows.iter().zip(&y) {
+            prop_assert_eq!(m.predict_one(r), *t);
+        }
+    }
+
+    /// Tree predictions never leave the range of the training targets.
+    #[test]
+    fn tree_predictions_bounded_by_targets(
+        rows in proptest::collection::vec(finite_vec(2), 4..30),
+        y in proptest::collection::vec(-10f64..10.0, 30),
+        queries in proptest::collection::vec(finite_vec(2), 5),
+    ) {
+        let n = rows.len().min(y.len());
+        let rows = &rows[..n];
+        let y = &y[..n];
+        let mut t = DecisionTreeRegressor::new(6, 2, 1);
+        t.fit(rows, y);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for q in &queries {
+            let p = t.predict_one(q);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Standardized training data has mean ~0 and variance ~1 per column.
+    #[test]
+    fn scaler_normalises(rows in proptest::collection::vec(finite_vec(3), 3..40)) {
+        let mut s = StandardScaler::new();
+        let t = s.fit_transform(&rows);
+        for j in 0..3 {
+            let col: Vec<f64> = t.iter().map(|r| r[j]).collect();
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "col {j} mean {mean}");
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+            prop_assert!(var < 1.0 + 1e-6, "col {j} var {var}");
+        }
+    }
+
+    /// Every k-fold split is a partition; stratified folds have balanced
+    /// sizes.
+    #[test]
+    fn folds_partition(n in 10usize..200, k in 2usize..8, seed in any::<u64>()) {
+        prop_assume!(n >= k);
+        for folds in [
+            KFold::new(k, seed).split(n),
+            StratifiedKFold::new(k, seed).split(&(0..n).map(|i| i as f64).collect::<Vec<_>>()),
+        ] {
+            let mut count = vec![0usize; n];
+            for (train, test) in &folds {
+                prop_assert_eq!(train.len() + test.len(), n);
+                for &t in test {
+                    count[t] += 1;
+                }
+                // No leakage.
+                let train_set: std::collections::HashSet<_> = train.iter().collect();
+                for t in test {
+                    prop_assert!(!train_set.contains(t));
+                }
+            }
+            prop_assert!(count.iter().all(|&c| c == 1));
+        }
+    }
+}
