@@ -24,8 +24,14 @@ fn bench_per_ff(c: &mut Criterion) {
     group.throughput(Throughput::Elements(injections as u64));
     // A datapath FF (converges fast) and a config FF (never converges).
     let targets = [
-        ("fifo_bit", cc.netlist().find_ff("tx_fifo_mem0_reg[3]").unwrap()),
-        ("cfg_bit", cc.netlist().find_ff("cfg_mac_addr_reg[7]").unwrap()),
+        (
+            "fifo_bit",
+            cc.netlist().find_ff("tx_fifo_mem0_reg[3]").unwrap(),
+        ),
+        (
+            "cfg_bit",
+            cc.netlist().find_ff("cfg_mac_addr_reg[7]").unwrap(),
+        ),
     ];
     for (name, ff) in targets {
         for early_exit in [true, false] {

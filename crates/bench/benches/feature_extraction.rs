@@ -36,5 +36,9 @@ fn bench_full_extraction_with_activity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_extraction, bench_full_extraction_with_activity);
+criterion_group!(
+    benches,
+    bench_extraction,
+    bench_full_extraction_with_activity
+);
 criterion_main!(benches);

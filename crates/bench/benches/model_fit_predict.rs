@@ -49,7 +49,11 @@ fn bench_predict(c: &mut Criterion) {
     let (qx, _) = synthetic(527, 25);
     let mut group = c.benchmark_group("model_predict_527");
     group.sample_size(10);
-    for kind in [ModelKind::LinearLeastSquares, ModelKind::Knn, ModelKind::SvrRbf] {
+    for kind in [
+        ModelKind::LinearLeastSquares,
+        ModelKind::Knn,
+        ModelKind::SvrRbf,
+    ] {
         let mut m = kind.build();
         m.fit(&x, &y);
         group.bench_with_input(

@@ -14,8 +14,14 @@ use ffr_features::FeatureGroup;
 fn main() {
     let ds = load_or_collect_dataset(Scale::from_env());
     let groups: Vec<(&str, Vec<usize>)> = vec![
-        ("structural only", FeatureGroup::Structural.columns().collect()),
-        ("synthesis only", FeatureGroup::Synthesis.columns().collect()),
+        (
+            "structural only",
+            FeatureGroup::Structural.columns().collect(),
+        ),
+        (
+            "synthesis only",
+            FeatureGroup::Synthesis.columns().collect(),
+        ),
         ("dynamic only", FeatureGroup::Dynamic.columns().collect()),
         (
             "structural + synthesis",
@@ -42,7 +48,10 @@ fn main() {
     ];
 
     println!("Feature-group ablation (k-NN, CV = 10, training size = 50 %)");
-    println!("{:<26} {:>6} {:>8} {:>8} {:>8}", "feature set", "cols", "MAE", "RMSE", "R2");
+    println!(
+        "{:<26} {:>6} {:>8} {:>8} {:>8}",
+        "feature set", "cols", "MAE", "RMSE", "R2"
+    );
     for (name, cols) in groups {
         let sub = ds.with_columns(&cols);
         let s = evaluate_model(ModelKind::Knn, &sub, 10, 0.5, 2019);

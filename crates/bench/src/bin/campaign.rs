@@ -22,10 +22,7 @@ fn main() {
         setup.tb.num_cycles(),
         setup.tb.injection_window()
     );
-    println!(
-        "packets sent: {}",
-        setup.tb.sent_packets().len()
-    );
+    println!("packets sent: {}", setup.tb.sent_packets().len());
 
     let ds = load_or_collect_dataset(scale);
     println!("\n=== Flat statistical fault-injection campaign ===");

@@ -15,7 +15,10 @@ fn main() {
     let x = ds.x();
     let folds = StratifiedKFold::new(5, 2019).split(ds.y());
     let grid = ModelKind::knn_grid();
-    println!("k-NN grid search over {} configurations (CV = 5)", grid.len());
+    println!(
+        "k-NN grid search over {} configurations (CV = 5)",
+        grid.len()
+    );
     let result = grid_search(
         &grid,
         |p| {
@@ -26,7 +29,10 @@ fn main() {
         ds.y(),
         &folds,
     );
-    println!("\n{:<6} {:<12} {:<18} {:>8}", "k", "distance", "weights", "R2");
+    println!(
+        "\n{:<6} {:<12} {:<18} {:>8}",
+        "k", "distance", "weights", "R2"
+    );
     let mut rows = result.evaluated.clone();
     rows.sort_by(|a, b| b.1.r2.total_cmp(&a.1.r2));
     for (p, s) in &rows {

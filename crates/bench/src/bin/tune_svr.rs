@@ -19,8 +19,7 @@ use rand::Rng;
 
 fn tuned(p: &SvrParams) -> Box<dyn Regressor + Send + Sync> {
     Box::new(ScaledRegressor::new(
-        SvrRegressor::new(p.c, p.epsilon, Kernel::Rbf { gamma: p.gamma })
-            .with_max_iter(30_000),
+        SvrRegressor::new(p.c, p.epsilon, Kernel::Rbf { gamma: p.gamma }).with_max_iter(30_000),
     ))
 }
 

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use ffr_campaign::{ArtifactKind, ArtifactStore, StoreKey};
 use ffr_circuits::{Mac10geConfig, MacJudge, MacTestbench, PacketExtractor, TrafficConfig};
 use ffr_core::ReferenceDataset;
 use ffr_fault::CampaignConfig;
@@ -75,11 +76,33 @@ impl Scale {
 }
 
 /// Cache directory (`target/ffr-cache`), created on demand.
+///
+/// Now the root of a content-addressed [`ArtifactStore`] rather than a
+/// pile of ad-hoc JSON files: artifacts are keyed by the netlist and the
+/// full experiment configuration, so changing the MAC or campaign knobs
+/// misses cleanly instead of serving stale data.
 pub fn cache_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/ffr-cache");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/ffr-cache");
     std::fs::create_dir_all(&dir).expect("create cache dir");
     dir
+}
+
+/// The experiment artifact store rooted at [`cache_dir`].
+pub fn artifact_store() -> ArtifactStore {
+    ArtifactStore::open(cache_dir()).expect("open artifact store")
+}
+
+/// Content-address of the reference dataset at `scale`.
+fn dataset_key(scale: Scale, cc: &CompiledCircuit) -> StoreKey {
+    StoreKey::of(
+        cc.netlist(),
+        &format!(
+            "bench-dataset;scale={};traffic={:?};injections={};seed=2019",
+            scale.tag(),
+            scale.traffic(),
+            scale.injections_per_ff()
+        ),
+    )
 }
 
 /// The compiled MAC experiment environment.
@@ -92,6 +115,8 @@ pub struct MacSetup {
     pub watch: WatchList,
     /// RX packet decoder.
     pub extractor: PacketExtractor,
+    /// Scale the setup was built at (part of the artifact cache address).
+    pub scale: Scale,
 }
 
 /// Build the MAC, testbench and watch list at the given scale.
@@ -102,24 +127,49 @@ pub fn mac_setup(scale: Scale) -> MacSetup {
         tb,
         watch,
         extractor,
+        scale,
     }
 }
 
-/// Build the failure judge for a setup (captures a golden run).
+/// Build the failure judge for a setup (reuses a cached golden run).
 pub fn mac_judge(setup: &MacSetup) -> MacJudge {
-    let golden = GoldenRun::capture(&setup.cc, &setup.tb, &setup.watch);
+    let golden = golden_run(setup);
     MacJudge::new(setup.extractor.clone(), &golden)
 }
 
+/// The golden reference run for a setup, served from the artifact store
+/// when available (it is the most expensive part of experiment setup).
+pub fn golden_run(setup: &MacSetup) -> GoldenRun {
+    let store = artifact_store();
+    let scale = setup.scale;
+    let key = StoreKey::of(
+        setup.cc.netlist(),
+        &format!(
+            "bench-golden;scale={};traffic={:?}",
+            scale.tag(),
+            scale.traffic()
+        ),
+    );
+    if let Ok(Some(golden)) = store.get::<GoldenRun>(ArtifactKind::GoldenRun, &key) {
+        return golden;
+    }
+    let golden = GoldenRun::capture(&setup.cc, &setup.tb, &setup.watch);
+    if let Err(e) = store.put(ArtifactKind::GoldenRun, &key, &golden) {
+        eprintln!("[ffr-bench] warning: failed to cache golden run: {e}");
+    }
+    golden
+}
+
 /// Load the cached reference dataset for `scale`, or run the full flat
-/// campaign (§IV-A) and cache it.
+/// campaign (§IV-A) and cache it in the artifact store.
 pub fn load_or_collect_dataset(scale: Scale) -> ReferenceDataset {
-    let path = cache_dir().join(format!("dataset_{}.json", scale.tag()));
-    if let Ok(ds) = ReferenceDataset::load_json(&path) {
-        eprintln!("[ffr-bench] using cached dataset {}", path.display());
+    let store = artifact_store();
+    let setup = mac_setup(scale);
+    let key = dataset_key(scale, &setup.cc);
+    if let Ok(Some(ds)) = store.get::<ReferenceDataset>(ArtifactKind::Dataset, &key) {
+        eprintln!("[ffr-bench] dataset served from artifact store ({key})");
         return ds;
     }
-    let setup = mac_setup(scale);
     let judge = mac_judge(&setup);
     let config = CampaignConfig::new(setup.tb.injection_window())
         .with_injections(scale.injections_per_ff())
@@ -144,15 +194,14 @@ pub fn load_or_collect_dataset(scale: Scale) -> ReferenceDataset {
         },
     );
     eprintln!("\n[ffr-bench] campaign done in {:.1?}", t0.elapsed());
-    if let Err(e) = ds.save_json(&path) {
+    if let Err(e) = store.put(ArtifactKind::Dataset, &key, &ds) {
         eprintln!("[ffr-bench] warning: failed to cache dataset: {e}");
     }
     ds
 }
 
 /// The paper's learning-curve sweep (fractions of the whole dataset).
-pub const LEARNING_CURVE_FRACTIONS: [f64; 9] =
-    [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+pub const LEARNING_CURVE_FRACTIONS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
 
 #[cfg(test)]
 mod tests {
@@ -163,7 +212,9 @@ mod tests {
         assert_eq!(Scale::Paper.tag(), "paper");
         assert_eq!(Scale::Quick.tag(), "quick");
         assert_eq!(Scale::Quick.injections_per_ff(), 24);
-        assert!(Scale::Paper.mac_config().fifo_addr_bits >= Scale::Quick.mac_config().fifo_addr_bits);
+        assert!(
+            Scale::Paper.mac_config().fifo_addr_bits >= Scale::Quick.mac_config().fifo_addr_bits
+        );
     }
 
     #[test]

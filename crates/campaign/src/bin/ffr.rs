@@ -1,0 +1,8 @@
+//! The `ffr` CLI: checkpointed, resumable fault-injection campaigns.
+//!
+//! See `ffr help` for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ffr_campaign::cli::main_with_args(&args));
+}

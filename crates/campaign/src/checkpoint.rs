@@ -1,0 +1,241 @@
+//! Durable campaign progress: per-flip-flop tallies that can be saved
+//! mid-run and resumed bit-identically.
+//!
+//! The unit of resumable work is a **64-injection chunk** of one
+//! flip-flop (one bit-parallel simulation batch). A flip-flop's injection
+//! plan is fully determined by `(seed, ff, window, max_injections)` via
+//! [`ffr_fault::sample_injection_times`], so the checkpoint does not need
+//! to persist RNG state — only how far into the plan each flip-flop got
+//! and the class tallies accumulated so far. Tallies of disjoint plan
+//! slices add, and the adaptive stopping rule is a pure function of the
+//! tallies, so a resumed campaign makes exactly the decisions an
+//! uninterrupted one would have made.
+
+use crate::adaptive::AdaptivePolicy;
+use ffr_fault::{FailureClass, FdrTable, FfCampaignResult};
+use ffr_netlist::FfId;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Checkpoint file format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Progress of one flip-flop's injection plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FfProgress {
+    /// Flip-flop index.
+    pub ff: u32,
+    /// Injections executed so far (a multiple of the chunk size except
+    /// when the plan is exhausted).
+    pub injections_done: usize,
+    /// Per-class tallies so far, indexed like [`FailureClass::ALL`].
+    pub counts: Vec<usize>,
+    /// `true` once the stopping rule has retired this flip-flop.
+    pub complete: bool,
+}
+
+impl FfProgress {
+    /// Fresh, empty progress for a flip-flop.
+    pub fn new(ff: FfId) -> FfProgress {
+        FfProgress {
+            ff: ff.index() as u32,
+            injections_done: 0,
+            counts: vec![0; FailureClass::ALL.len()],
+            complete: false,
+        }
+    }
+
+    /// Failures observed so far.
+    pub fn failures(&self) -> usize {
+        ffr_fault::failures_in(&self.counts)
+    }
+
+    /// Fold one chunk's tallies into this progress record.
+    pub fn absorb(&mut self, chunk_counts: &[usize; FailureClass::ALL.len()], injections: usize) {
+        for (total, &n) in self.counts.iter_mut().zip(chunk_counts.iter()) {
+            *total += n;
+        }
+        self.injections_done += injections;
+    }
+}
+
+/// The campaign parameters a checkpoint binds to.
+///
+/// Stored inside the checkpoint so `resume` can verify it is continuing
+/// the same campaign (same plan, same stopping rule) before trusting the
+/// tallies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointParams {
+    /// Master campaign seed.
+    pub seed: u64,
+    /// Injection window start (inclusive).
+    pub window_start: u64,
+    /// Injection window end (exclusive).
+    pub window_end: u64,
+    /// Adaptive stopping policy.
+    pub policy: AdaptivePolicy,
+}
+
+/// A resumable snapshot of campaign progress.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Store key of the netlist + campaign config this checkpoint belongs
+    /// to (rendered like [`crate::StoreKey`]).
+    pub fingerprint: String,
+    /// The campaign parameters.
+    pub params: CheckpointParams,
+    /// Number of flip-flops in the circuit.
+    pub num_ffs: usize,
+    /// Per-flip-flop progress, indexed by flip-flop.
+    pub ffs: Vec<FfProgress>,
+}
+
+impl CampaignCheckpoint {
+    /// Fresh checkpoint covering every flip-flop of a circuit.
+    pub fn fresh(
+        fingerprint: String,
+        params: CheckpointParams,
+        num_ffs: usize,
+    ) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint,
+            params,
+            num_ffs,
+            ffs: (0..num_ffs)
+                .map(|i| FfProgress::new(FfId::from_index(i)))
+                .collect(),
+        }
+    }
+
+    /// Number of retired flip-flops.
+    pub fn completed_ffs(&self) -> usize {
+        self.ffs.iter().filter(|p| p.complete).count()
+    }
+
+    /// Total injections executed so far.
+    pub fn total_injections(&self) -> usize {
+        self.ffs.iter().map(|p| p.injections_done).sum()
+    }
+
+    /// `true` once every flip-flop is retired.
+    pub fn is_complete(&self) -> bool {
+        self.ffs.iter().all(|p| p.complete)
+    }
+
+    /// Assemble the final FDR table from a completed campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign is not complete.
+    pub fn to_fdr_table(&self) -> FdrTable {
+        assert!(
+            self.is_complete(),
+            "campaign still has unfinished flip-flops"
+        );
+        let results = self
+            .ffs
+            .iter()
+            .map(|p| {
+                let mut counts = [0usize; FailureClass::ALL.len()];
+                counts.copy_from_slice(&p.counts);
+                FfCampaignResult::new(FfId::from_index(p.ff as usize), counts)
+            })
+            .collect();
+        FdrTable::from_results(self.num_ffs, results, self.params.policy.max_injections)
+    }
+
+    /// Serialize to pretty JSON at `path` via a temp file + atomic rename,
+    /// so a kill mid-save leaves the previous checkpoint intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        crate::store::atomic_write(path, &json)
+    }
+
+    /// Load a checkpoint previously written by [`CampaignCheckpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, undecodable files, or a version mismatch.
+    pub fn load(path: &Path) -> io::Result<CampaignCheckpoint> {
+        let text = std::fs::read_to_string(path)?;
+        let cp: CampaignCheckpoint = serde_json::from_str(&text).map_err(io::Error::other)?;
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(io::Error::other(format!(
+                "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
+                cp.version
+            )));
+        }
+        Ok(cp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CheckpointParams {
+        CheckpointParams {
+            seed: 7,
+            window_start: 10,
+            window_end: 100,
+            policy: AdaptivePolicy::fixed(128),
+        }
+    }
+
+    #[test]
+    fn fresh_checkpoint_is_empty() {
+        let cp = CampaignCheckpoint::fresh("k".into(), params(), 4);
+        assert_eq!(cp.ffs.len(), 4);
+        assert_eq!(cp.completed_ffs(), 0);
+        assert_eq!(cp.total_injections(), 0);
+        assert!(!cp.is_complete());
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut p = FfProgress::new(FfId::from_index(2));
+        let mut chunk = [0usize; FailureClass::ALL.len()];
+        chunk[FailureClass::Benign.tally_index()] = 60;
+        chunk[FailureClass::OutputMismatch.tally_index()] = 4;
+        p.absorb(&chunk, 64);
+        p.absorb(&chunk, 64);
+        assert_eq!(p.injections_done, 128);
+        assert_eq!(p.failures(), 8);
+        assert_eq!(p.counts[FailureClass::Benign.tally_index()], 120);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ffr_ckpt_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut cp = CampaignCheckpoint::fresh("abc".into(), params(), 3);
+        cp.ffs[1].complete = true;
+        cp.ffs[1].injections_done = 128;
+        cp.save(&path).unwrap();
+        let loaded = CampaignCheckpoint::load(&path).unwrap();
+        assert_eq!(loaded, cp);
+    }
+
+    #[test]
+    fn to_fdr_table_requires_completion() {
+        let mut cp = CampaignCheckpoint::fresh("k".into(), params(), 2);
+        for p in &mut cp.ffs {
+            p.counts[FailureClass::Benign.tally_index()] = 48;
+            p.counts[FailureClass::OutputMismatch.tally_index()] = 16;
+            p.injections_done = 64;
+            p.complete = true;
+        }
+        let table = cp.to_fdr_table();
+        assert_eq!(table.num_ffs(), 2);
+        assert_eq!(table.fdr(FfId::from_index(0)), Some(0.25));
+    }
+}

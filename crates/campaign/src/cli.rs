@@ -1,0 +1,476 @@
+//! Implementation of the `ffr` command-line interface.
+//!
+//! Subcommands:
+//!
+//! * `ffr run`    — start a checkpointed campaign on a named circuit,
+//! * `ffr resume` — continue an interrupted campaign session,
+//! * `ffr status` — progress of a session directory,
+//! * `ffr report` — render the finished FDR table,
+//! * `ffr gc`     — sweep the artifact store.
+//!
+//! Argument parsing is hand-rolled (`--flag value` pairs) to stay
+//! dependency-free; [`main_with_args`] returns the process exit code so
+//! the whole CLI is unit-testable without spawning processes.
+
+use crate::adaptive::AdaptivePolicy;
+use crate::checkpoint::CampaignCheckpoint;
+use crate::runner::{CancelToken, RunOutcome, RunnerOptions};
+use crate::session::{self, CampaignManifest, RunRequest, SessionPaths};
+use crate::spec::CircuitSpec;
+use crate::store::ArtifactStore;
+use ffr_fault::{FailureClass, FdrTable};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "\
+ffr — functional-failure-rate campaign orchestration
+
+USAGE:
+    ffr run    --circuit <name> --out <dir> [options]
+    ffr resume --out <dir> [--threads N] [--stop-after-ffs N]
+    ffr status --out <dir>
+    ffr report --out <dir>
+    ffr gc     --store <dir> [--max-age-days D | --all]
+
+RUN OPTIONS:
+    --circuit <name>        counter | lfsr | alu | traffic | mac-small | mac
+    --out <dir>             session directory (checkpoint + results)
+    --store <dir>           artifact store (caches golden runs and tables)
+    --seed <n>              campaign master seed            [default: 2019]
+    --stim-seed <n>         stimulus seed                   [default: 1]
+    --cycles <n>            testbench cycles (generic circuits) [default: 400]
+    --injections <n>        fixed injections per flip-flop  [default: 170]
+    --adaptive <min:max:hw> adaptive stopping: min/max injections and
+                            target Wilson 95% CI half-width (e.g. 64:512:0.05)
+    --checkpoint-every <n>  flush cadence in retired FFs    [default: 32]
+    --threads <n>           worker threads                  [default: all cores]
+    --stop-after-ffs <n>    stop (resumably) after N retirements
+    --force                 ignore a cached final table
+";
+
+/// Parsed `--flag value` arguments.
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{arg}`"));
+            };
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => Some(iter.next().unwrap().clone()),
+                _ => None,
+            };
+            flags.push((name.to_string(), value));
+        }
+        Ok(Args { flags })
+    }
+
+    fn take(&mut self, name: &str) -> Option<Option<String>> {
+        let idx = self.flags.iter().position(|(n, _)| n == name)?;
+        Some(self.flags.remove(idx).1)
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+        match self.take(name) {
+            None => Ok(None),
+            Some(Some(v)) => Ok(Some(v)),
+            Some(None) => Err(format!("--{name} requires a value")),
+        }
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.value(name)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    fn present(&mut self, name: &str) -> Result<bool, String> {
+        match self.take(name) {
+            None => Ok(false),
+            Some(None) => Ok(true),
+            Some(Some(v)) => Err(format!("--{name} takes no value (got `{v}`)")),
+        }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        match self.flags.first() {
+            None => Ok(()),
+            Some((name, _)) => Err(format!("unknown option `--{name}`")),
+        }
+    }
+}
+
+fn parse_adaptive(spec: &str) -> Result<AdaptivePolicy, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        return Err("expected --adaptive min:max:half_width (e.g. 64:512:0.05)".into());
+    }
+    let min: usize = parts[0].parse().map_err(|e| format!("adaptive min: {e}"))?;
+    let max: usize = parts[1].parse().map_err(|e| format!("adaptive max: {e}"))?;
+    let hw: f64 = parts[2]
+        .parse()
+        .map_err(|e| format!("adaptive half-width: {e}"))?;
+    if min > max {
+        return Err("adaptive min must not exceed max".into());
+    }
+    if !(hw > 0.0 && hw < 0.5) {
+        return Err("adaptive half-width must be in (0, 0.5)".into());
+    }
+    Ok(AdaptivePolicy::adaptive(min, max, hw))
+}
+
+fn runner_options(args: &mut Args) -> Result<RunnerOptions, String> {
+    Ok(RunnerOptions {
+        threads: args.parsed::<usize>("threads")?,
+        stop_after_ffs: args.parsed::<usize>("stop-after-ffs")?,
+        ..RunnerOptions::default()
+    })
+}
+
+fn progress_printer() -> impl Fn(usize, usize) + Sync {
+    |done, total| {
+        if done % 16 == 0 || done == total {
+            eprint!("\r[ffr] {done}/{total} flip-flops retired");
+            let _ = std::io::stderr().flush();
+        }
+    }
+}
+
+fn print_summary(summary: &session::RunSummary) {
+    eprintln!();
+    if summary.table_from_cache {
+        println!(
+            "served from artifact cache: {} flip-flops, no simulation needed",
+            summary.total_ffs
+        );
+    } else {
+        println!(
+            "golden run: {}",
+            if summary.golden_from_cache {
+                "artifact cache hit"
+            } else {
+                "captured (cache miss)"
+            }
+        );
+        println!(
+            "progress: {}/{} flip-flops retired, {} injections executed",
+            summary.completed_ffs, summary.total_ffs, summary.total_injections
+        );
+    }
+    match summary.outcome {
+        RunOutcome::Complete => {
+            if let Some(path) = &summary.fdr_path {
+                println!("FDR table written to {}", path.display());
+            }
+        }
+        RunOutcome::Cancelled => {
+            println!("campaign interrupted — continue with `ffr resume --out <dir>`");
+        }
+    }
+}
+
+fn cmd_run(mut args: Args) -> Result<i32, String> {
+    let circuit: CircuitSpec = args
+        .value("circuit")?
+        .ok_or("--circuit is required")?
+        .parse()?;
+    let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
+    let mut request = RunRequest::new(circuit);
+    request.store = args.value("store")?.map(PathBuf::from);
+    if let Some(seed) = args.parsed::<u64>("seed")? {
+        request.seed = seed;
+    }
+    if let Some(seed) = args.parsed::<u64>("stim-seed")? {
+        request.stim_seed = seed;
+    }
+    if let Some(cycles) = args.parsed::<u64>("cycles")? {
+        request.cycles = cycles;
+    }
+    let injections = args.parsed::<usize>("injections")?;
+    let adaptive = args.value("adaptive")?;
+    request.policy = match (injections, adaptive) {
+        (Some(_), Some(_)) => {
+            return Err("--injections and --adaptive are mutually exclusive \
+                        (the adaptive spec carries its own max)"
+                .into())
+        }
+        (None, Some(spec)) => parse_adaptive(&spec)?,
+        (Some(n), None) => AdaptivePolicy::fixed(n),
+        (None, None) => AdaptivePolicy::fixed(170),
+    };
+    if let Some(every) = args.parsed::<usize>("checkpoint-every")? {
+        request.checkpoint_every_ffs = every.max(1);
+    }
+    request.force = args.present("force")?;
+    let options = runner_options(&mut args)?;
+    args.finish()?;
+
+    let summary = session::run(
+        &request,
+        &out,
+        &options,
+        &CancelToken::new(),
+        progress_printer(),
+    )
+    .map_err(|e| e.to_string())?;
+    print_summary(&summary);
+    Ok(match summary.outcome {
+        RunOutcome::Complete => 0,
+        RunOutcome::Cancelled => 2,
+    })
+}
+
+fn cmd_resume(mut args: Args) -> Result<i32, String> {
+    let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
+    let options = runner_options(&mut args)?;
+    args.finish()?;
+    let summary = session::resume(&out, &options, &CancelToken::new(), progress_printer())
+        .map_err(|e| e.to_string())?;
+    print_summary(&summary);
+    Ok(match summary.outcome {
+        RunOutcome::Complete => 0,
+        RunOutcome::Cancelled => 2,
+    })
+}
+
+fn cmd_status(mut args: Args) -> Result<i32, String> {
+    let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
+    args.finish()?;
+    let paths = SessionPaths::new(&out);
+    let manifest = CampaignManifest::load(&paths.manifest()).map_err(|e| e.to_string())?;
+    println!("campaign session {}", out.display());
+    println!("  circuit:     {}", manifest.circuit);
+    println!("  seed:        {}", manifest.seed);
+    println!("  policy:      {}", manifest.policy.describe());
+    println!("  fingerprint: {}", manifest.fingerprint);
+    match CampaignCheckpoint::load(&paths.checkpoint()) {
+        Ok(cp) => {
+            println!(
+                "  progress:    {}/{} flip-flops retired, {} injections",
+                cp.completed_ffs(),
+                cp.num_ffs,
+                cp.total_injections()
+            );
+            println!(
+                "  state:       {}",
+                if cp.is_complete() {
+                    "complete"
+                } else {
+                    "resumable (run `ffr resume`)"
+                }
+            );
+        }
+        Err(_) => println!("  progress:    not started"),
+    }
+    if paths.fdr_json().exists() {
+        println!("  results:     {}", paths.fdr_json().display());
+    }
+    Ok(0)
+}
+
+fn cmd_report(mut args: Args) -> Result<i32, String> {
+    let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
+    args.finish()?;
+    let paths = SessionPaths::new(&out);
+    let table = FdrTable::load_json(&paths.fdr_json())
+        .map_err(|e| format!("no finished campaign in {}: {e}", out.display()))?;
+    println!(
+        "FDR table: {} flip-flops ({} covered)",
+        table.num_ffs(),
+        table.covered().count()
+    );
+    println!("circuit-level FDR: {:.4}", table.circuit_fdr());
+    println!("\nfailure-class totals:");
+    for (class, count) in table.class_totals() {
+        if class != FailureClass::Benign && count > 0 {
+            println!("  {class:<20} {count}");
+        }
+    }
+    let injections: usize = table.covered().map(|r| r.injections()).sum();
+    println!("total injections: {injections}");
+    println!("\nFDR histogram (10 bins):");
+    print!("{}", table.histogram(10));
+    Ok(0)
+}
+
+fn cmd_gc(mut args: Args) -> Result<i32, String> {
+    let store_dir: PathBuf = args.value("store")?.ok_or("--store is required")?.into();
+    let max_age_days = args.parsed::<u64>("max-age-days")?;
+    let all = args.present("all")?;
+    args.finish()?;
+    if all && max_age_days.is_some() {
+        return Err("--all and --max-age-days are mutually exclusive".into());
+    }
+    let max_age = if all {
+        None
+    } else {
+        Some(Duration::from_secs(
+            60 * 60 * 24 * max_age_days.unwrap_or(30),
+        ))
+    };
+    let store = ArtifactStore::open(&store_dir).map_err(|e| e.to_string())?;
+    let report = store.gc(max_age).map_err(|e| e.to_string())?;
+    println!(
+        "gc: removed {} artifacts ({} bytes), kept {}",
+        report.removed, report.reclaimed_bytes, report.kept
+    );
+    Ok(0)
+}
+
+/// Run the CLI with explicit arguments (exit-code return; testable).
+pub fn main_with_args(args: &[String]) -> i32 {
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return 64;
+    };
+    let parsed = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 64;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(parsed),
+        "resume" => cmd_resume(parsed),
+        "status" => cmd_status(parsed),
+        "report" => cmd_report(parsed),
+        "gc" => cmd_gc(parsed),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return 0;
+        }
+        other => Err(format!("unknown command `{other}`; try `ffr help`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_parser_basics() {
+        let mut args =
+            Args::parse(&strs(&["--circuit", "counter", "--force", "--seed", "9"])).unwrap();
+        assert_eq!(args.value("circuit").unwrap().as_deref(), Some("counter"));
+        assert!(args.present("force").unwrap());
+        assert_eq!(args.parsed::<u64>("seed").unwrap(), Some(9));
+        args.finish().unwrap();
+
+        let mut args = Args::parse(&strs(&["--unknown", "x"])).unwrap();
+        let _ = args.take("other");
+        assert!(args.finish().is_err());
+        assert!(Args::parse(&strs(&["positional"])).is_err());
+    }
+
+    #[test]
+    fn adaptive_spec_parsing() {
+        let p = parse_adaptive("64:512:0.05").unwrap();
+        assert_eq!(p.min_injections, 64);
+        assert_eq!(p.max_injections, 512);
+        assert_eq!(p.ci_half_width, Some(0.05));
+        assert!(parse_adaptive("64:512").is_err());
+        assert!(parse_adaptive("512:64:0.05").is_err());
+        assert!(parse_adaptive("64:512:0.9").is_err());
+    }
+
+    #[test]
+    fn unknown_command_fails_cleanly() {
+        assert_eq!(main_with_args(&strs(&["frobnicate"])), 64);
+        assert_eq!(main_with_args(&strs(&["help"])), 0);
+        assert_eq!(main_with_args(&[]), 64);
+    }
+
+    #[test]
+    fn end_to_end_run_kill_resume_via_cli() {
+        let base = std::env::temp_dir().join(format!("ffr_cli_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let out = base.join("session");
+        let store = base.join("store");
+        let out_s = out.to_string_lossy().into_owned();
+        let store_s = store.to_string_lossy().into_owned();
+
+        // Run with an injected stop after 2 FFs (simulated kill).
+        let code = main_with_args(&strs(&[
+            "run",
+            "--circuit",
+            "counter",
+            "--out",
+            &out_s,
+            "--store",
+            &store_s,
+            "--cycles",
+            "160",
+            "--injections",
+            "64",
+            "--checkpoint-every",
+            "1",
+            "--stop-after-ffs",
+            "2",
+        ]));
+        assert_eq!(code, 2, "interrupted run exits with 2");
+        assert!(out.join("checkpoint.json").exists());
+        assert!(!out.join("fdr.json").exists());
+
+        // Status works on the partial session.
+        assert_eq!(main_with_args(&strs(&["status", "--out", &out_s])), 0);
+
+        // Resume to completion.
+        let code = main_with_args(&strs(&["resume", "--out", &out_s]));
+        assert_eq!(code, 0);
+        assert!(out.join("fdr.json").exists());
+        assert_eq!(main_with_args(&strs(&["report", "--out", &out_s])), 0);
+
+        // A fresh run with identical parameters is served from the cache.
+        let out2 = base.join("session2");
+        let out2_s = out2.to_string_lossy().into_owned();
+        let code = main_with_args(&strs(&[
+            "run",
+            "--circuit",
+            "counter",
+            "--out",
+            &out2_s,
+            "--store",
+            &store_s,
+            "--cycles",
+            "160",
+            "--injections",
+            "64",
+        ]));
+        assert_eq!(code, 0);
+        assert_eq!(
+            std::fs::read(out.join("fdr.json")).unwrap(),
+            std::fs::read(out2.join("fdr.json")).unwrap()
+        );
+
+        // gc --all empties the store.
+        assert_eq!(
+            main_with_args(&strs(&["gc", "--store", &store_s, "--all"])),
+            0
+        );
+    }
+}

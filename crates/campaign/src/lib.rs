@@ -1,0 +1,45 @@
+//! Durable, resumable, adaptively-sampled fault-injection campaign
+//! orchestration.
+//!
+//! The statistical campaigns of the paper (170 injections × every
+//! flip-flop) dominate the cost of the whole estimation flow. This crate
+//! turns the one-shot in-memory campaigns of [`ffr_fault`] into durable
+//! jobs that scale:
+//!
+//! * **Checkpoint / resume** ([`checkpoint`], [`runner`]) — per-flip-flop
+//!   progress is periodically flushed to disk; a killed run resumes
+//!   **bit-identically**, because injection plans and stopping decisions
+//!   are pure functions of `(seed, flip-flop, window, policy)`.
+//! * **Artifact store** ([`store`]) — golden runs, FDR tables, feature
+//!   matrices and datasets are cached on disk, content-addressed by
+//!   netlist hash + configuration in a versioned, self-describing format.
+//!   Reruns with identical inputs are served from the cache without
+//!   simulating a cycle.
+//! * **Adaptive early stopping** ([`adaptive`]) — a flip-flop is retired
+//!   as soon as the Wilson confidence interval on its FDR is tight enough,
+//!   typically cutting campaign cost severalfold on bimodal FDR
+//!   populations.
+//! * **Work stealing** ([`runner`]) — workers claim flip-flops from a
+//!   shared cursor, so adaptive stopping and early convergence exit do not
+//!   leave threads idle behind a static partition.
+//! * **The `ffr` CLI** ([`cli`]) — `run`, `resume`, `status`, `report`,
+//!   `gc` over named circuits ([`spec`]), replacing ad-hoc per-experiment
+//!   binaries for the core campaign flow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod checkpoint;
+pub mod cli;
+pub mod runner;
+pub mod session;
+pub mod spec;
+pub mod store;
+
+pub use adaptive::{AdaptivePolicy, CHUNK_INJECTIONS};
+pub use checkpoint::{CampaignCheckpoint, CheckpointParams, FfProgress};
+pub use runner::{run_resumable, CancelToken, RunOutcome, RunnerOptions};
+pub use session::{CampaignManifest, RunRequest, RunSummary, SessionPaths};
+pub use spec::{CircuitSpec, PreparedCircuit};
+pub use store::{ArtifactInfo, ArtifactKind, ArtifactStore, GcReport, StoreKey};

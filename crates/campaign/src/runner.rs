@@ -1,0 +1,452 @@
+//! The checkpointed, work-stealing campaign runner.
+//!
+//! Flip-flops are claimed by worker threads in small chunks off a shared
+//! atomic cursor (work stealing) rather than split statically: per-FF cost
+//! varies wildly once adaptive stopping and early convergence exit are in
+//! play, and a static split would leave workers idle behind the unlucky
+//! one. Each worker runs one flip-flop's injection plan in 64-injection
+//! batches, consulting the [`AdaptivePolicy`] after every batch, and
+//! writes progress back into the shared [`CampaignCheckpoint`]; every
+//! `checkpoint_every_ffs` retirements the checkpoint is flushed through
+//! the caller's sink (typically [`CampaignCheckpoint::save`]).
+//!
+//! # Determinism
+//!
+//! A flip-flop's injection plan and stopping decisions depend only on
+//! `(seed, ff, window, policy)` — never on scheduling. Killing the run at
+//! any point and resuming from the last flushed checkpoint therefore
+//! produces a final [`FdrTable`](ffr_fault::FdrTable) bit-identical to an
+//! uninterrupted run; the integration tests assert this byte-for-byte.
+
+use crate::checkpoint::{CampaignCheckpoint, FfProgress};
+use ffr_fault::{sample_injection_times, Campaign, CampaignConfig, FailureJudge};
+use ffr_netlist::FfId;
+use ffr_sim::Stimulus;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cooperative cancellation handle (cloneable; e.g. wired to Ctrl-C).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A token that has not been cancelled.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation; workers stop at the next batch boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Runner tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Worker threads (`None` = available parallelism).
+    pub threads: Option<usize>,
+    /// Flush the checkpoint after this many flip-flop retirements.
+    pub checkpoint_every_ffs: usize,
+    /// Flip-flops claimed per work-steal (small = better balance, large =
+    /// less cursor contention).
+    pub steal_chunk: usize,
+    /// Self-cancel after retiring this many flip-flops in this invocation
+    /// (test/CLI hook for simulating a killed run).
+    pub stop_after_ffs: Option<usize>,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> RunnerOptions {
+        RunnerOptions {
+            threads: None,
+            checkpoint_every_ffs: 32,
+            steal_chunk: 4,
+            stop_after_ffs: None,
+        }
+    }
+}
+
+/// How a [`run_resumable`] invocation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every flip-flop is retired; the checkpoint holds the full campaign.
+    Complete,
+    /// Cancelled (token or `stop_after_ffs`); the checkpoint holds a
+    /// resumable partial campaign.
+    Cancelled,
+}
+
+struct Shared<'a, Sink> {
+    checkpoint: &'a mut CampaignCheckpoint,
+    sink: Sink,
+    retired_since_flush: usize,
+    retired_this_run: usize,
+    io_error: Option<io::Error>,
+}
+
+impl<Sink: FnMut(&CampaignCheckpoint) -> io::Result<()>> Shared<'_, Sink> {
+    fn flush(&mut self) {
+        if self.io_error.is_some() {
+            return;
+        }
+        if let Err(e) = (self.sink)(self.checkpoint) {
+            self.io_error = Some(e);
+        }
+        self.retired_since_flush = 0;
+    }
+}
+
+/// Drive a checkpointed campaign (fresh or resumed) to completion or
+/// cancellation.
+///
+/// `sink` is invoked with the current checkpoint under the progress lock —
+/// it must not call back into the runner. `progress` receives
+/// `(retired_ffs, total_ffs)` after every retirement.
+///
+/// # Errors
+///
+/// Propagates the first error the sink reports (workers drain and stop).
+///
+/// # Panics
+///
+/// Panics if the checkpoint's flip-flop count does not match the
+/// campaign's circuit.
+pub fn run_resumable<S, J>(
+    campaign: &Campaign<'_, S, J>,
+    checkpoint: &mut CampaignCheckpoint,
+    options: &RunnerOptions,
+    cancel: &CancelToken,
+    sink: impl FnMut(&CampaignCheckpoint) -> io::Result<()> + Send,
+    progress: impl Fn(usize, usize) + Sync,
+) -> io::Result<RunOutcome>
+where
+    S: Stimulus + Sync,
+    J: FailureJudge,
+{
+    assert_eq!(
+        checkpoint.num_ffs,
+        campaign.circuit().num_ffs(),
+        "checkpoint belongs to a different circuit"
+    );
+    let params = checkpoint.params.clone();
+    let policy = params.policy.clone();
+    let config = CampaignConfig::new(params.window_start..params.window_end)
+        .with_injections(policy.max_injections)
+        .with_seed(params.seed);
+
+    // Work list: indices of flip-flops not yet retired.
+    let pending: Vec<usize> = checkpoint
+        .ffs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.complete)
+        .map(|(i, _)| i)
+        .collect();
+    let total = checkpoint.num_ffs;
+    let already_retired = total - pending.len();
+    if pending.is_empty() {
+        return Ok(RunOutcome::Complete);
+    }
+
+    let threads = options
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, pending.len());
+    let steal_chunk = options.steal_chunk.max(1);
+    let cursor = AtomicUsize::new(0);
+    let shared = Mutex::new(Shared {
+        checkpoint: &mut *checkpoint,
+        sink,
+        retired_since_flush: 0,
+        retired_this_run: 0,
+        io_error: None,
+    });
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if cancel.is_cancelled() {
+                    return;
+                }
+                let start = cursor.fetch_add(steal_chunk, Ordering::Relaxed);
+                if start >= pending.len() {
+                    return;
+                }
+                let claimed = &pending[start..(start + steal_chunk).min(pending.len())];
+                for &ff_index in claimed {
+                    if cancel.is_cancelled() {
+                        return;
+                    }
+                    // Snapshot this flip-flop's progress. Only one worker
+                    // ever touches a given flip-flop (the cursor hands out
+                    // disjoint ranges), so the snapshot cannot go stale.
+                    let mut record: FfProgress = {
+                        let guard = shared.lock().expect("progress lock poisoned");
+                        if guard.io_error.is_some() {
+                            return;
+                        }
+                        guard.checkpoint.ffs[ff_index].clone()
+                    };
+                    let ff = FfId::from_index(ff_index);
+                    let times = sample_injection_times(
+                        params.seed,
+                        ff_index as u64,
+                        params.window_start..params.window_end,
+                        policy.max_injections,
+                    );
+                    while !policy.is_settled(record.failures(), record.injections_done) {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        let batch = policy.next_batch(record.injections_done);
+                        if batch == 0 {
+                            break;
+                        }
+                        let slice = &times[record.injections_done..record.injections_done + batch];
+                        let counts = campaign.run_ff_times(ff, slice, &config);
+                        record.absorb(&counts, batch);
+                    }
+                    record.complete = policy.is_settled(record.failures(), record.injections_done);
+
+                    // Publish progress; flush and report on retirement.
+                    let mut guard = shared.lock().expect("progress lock poisoned");
+                    let retired = record.complete;
+                    guard.checkpoint.ffs[ff_index] = record;
+                    if retired {
+                        guard.retired_since_flush += 1;
+                        guard.retired_this_run += 1;
+                        progress(already_retired + guard.retired_this_run, total);
+                        if guard.retired_since_flush >= options.checkpoint_every_ffs {
+                            guard.flush();
+                        }
+                        if let Some(limit) = options.stop_after_ffs {
+                            if guard.retired_this_run >= limit {
+                                cancel.cancel();
+                            }
+                        }
+                    } else {
+                        // Partial progress only happens on cancellation;
+                        // make sure it reaches disk.
+                        guard.flush();
+                    }
+                    if guard.io_error.is_some() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    let mut shared = shared.into_inner().expect("progress lock poisoned");
+    // Final flush: persist the terminal state (complete or cancelled).
+    shared.flush();
+    if let Some(e) = shared.io_error {
+        return Err(e);
+    }
+    Ok(if shared.checkpoint.is_complete() {
+        RunOutcome::Complete
+    } else {
+        RunOutcome::Cancelled
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptivePolicy;
+    use crate::checkpoint::CheckpointParams;
+    use ffr_circuits::small;
+    use ffr_fault::OutputMismatchJudge;
+    use ffr_sim::{CompiledCircuit, InputFrame, WatchList};
+
+    struct AlwaysOn;
+
+    impl Stimulus for AlwaysOn {
+        fn num_cycles(&self) -> u64 {
+            150
+        }
+
+        fn drive(&self, _cycle: u64, frame: &mut InputFrame) {
+            frame.set(0, true);
+        }
+    }
+
+    fn checkpoint_for(cc: &CompiledCircuit, policy: AdaptivePolicy) -> CampaignCheckpoint {
+        CampaignCheckpoint::fresh(
+            "test".into(),
+            CheckpointParams {
+                seed: 11,
+                window_start: 10,
+                window_end: 120,
+                policy,
+            },
+            cc.num_ffs(),
+        )
+    }
+
+    #[test]
+    fn complete_run_matches_classic_campaign() {
+        // A fixed-budget resumable run must reproduce Campaign::run
+        // exactly (same plans, same tallies).
+        let cc = CompiledCircuit::compile(small::lfsr_pipeline(4, 2)).unwrap();
+        let watch = WatchList::all(&cc);
+        let judge = OutputMismatchJudge::new();
+        let campaign = Campaign::new(&cc, &AlwaysOn, &watch, &judge);
+
+        let mut cp = checkpoint_for(&cc, AdaptivePolicy::fixed(128));
+        let outcome = run_resumable(
+            &campaign,
+            &mut cp,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_| Ok(()),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(outcome, RunOutcome::Complete);
+        let resumable = cp.to_fdr_table();
+
+        let classic = campaign.run(
+            &CampaignConfig::new(10..120)
+                .with_injections(128)
+                .with_seed(11),
+        );
+        for (ff, _) in cc.netlist().ffs() {
+            assert_eq!(resumable.fdr(ff), classic.fdr(ff));
+            assert_eq!(
+                resumable.result(ff).unwrap().failures(),
+                classic.result(ff).unwrap().failures()
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_run_resumes_to_identical_table() {
+        let cc = CompiledCircuit::compile(small::alu_circuit(4)).unwrap();
+        let watch = WatchList::all(&cc);
+        let judge = OutputMismatchJudge::new();
+        let campaign = Campaign::new(&cc, &AlwaysOn, &watch, &judge);
+        let policy = AdaptivePolicy::adaptive(64, 256, 0.05);
+
+        // Uninterrupted reference.
+        let mut reference = checkpoint_for(&cc, policy.clone());
+        run_resumable(
+            &campaign,
+            &mut reference,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_| Ok(()),
+            |_, _| {},
+        )
+        .unwrap();
+
+        // Killed after 3 retirements, then resumed.
+        let mut cp = checkpoint_for(&cc, policy);
+        let outcome = run_resumable(
+            &campaign,
+            &mut cp,
+            &RunnerOptions {
+                stop_after_ffs: Some(3),
+                threads: Some(2),
+                ..RunnerOptions::default()
+            },
+            &CancelToken::new(),
+            |_| Ok(()),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(outcome, RunOutcome::Cancelled);
+        assert!(cp.completed_ffs() >= 3);
+        assert!(!cp.is_complete());
+
+        let outcome = run_resumable(
+            &campaign,
+            &mut cp,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_| Ok(()),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(outcome, RunOutcome::Complete);
+        assert_eq!(cp, reference, "resume must be bit-identical");
+    }
+
+    #[test]
+    fn adaptive_policy_spends_fewer_injections() {
+        let cc = CompiledCircuit::compile(small::traffic_light()).unwrap();
+        let watch = WatchList::all(&cc);
+        let judge = OutputMismatchJudge::new();
+        let campaign = Campaign::new(&cc, &AlwaysOn, &watch, &judge);
+
+        let mut fixed = checkpoint_for(&cc, AdaptivePolicy::fixed(256));
+        run_resumable(
+            &campaign,
+            &mut fixed,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_| Ok(()),
+            |_, _| {},
+        )
+        .unwrap();
+
+        let mut adaptive = checkpoint_for(&cc, AdaptivePolicy::adaptive(64, 256, 0.06));
+        run_resumable(
+            &campaign,
+            &mut adaptive,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_| Ok(()),
+            |_, _| {},
+        )
+        .unwrap();
+
+        assert!(adaptive.total_injections() < fixed.total_injections());
+        // Settled flip-flops agree on the paper's binary split: a fully
+        // benign FF under one policy is fully benign under the other.
+        let tf = fixed.to_fdr_table();
+        let ta = adaptive.to_fdr_table();
+        for (ff, _) in cc.netlist().ffs() {
+            let f = tf.fdr(ff).unwrap();
+            let a = ta.fdr(ff).unwrap();
+            assert!(
+                (f - a).abs() < 0.15,
+                "{}: fixed {f} vs adaptive {a}",
+                cc.netlist().ff_name(ff)
+            );
+        }
+    }
+
+    #[test]
+    fn sink_errors_propagate() {
+        let cc = CompiledCircuit::compile(small::counter_circuit(4)).unwrap();
+        let watch = WatchList::all(&cc);
+        let judge = OutputMismatchJudge::new();
+        let campaign = Campaign::new(&cc, &AlwaysOn, &watch, &judge);
+        let mut cp = checkpoint_for(&cc, AdaptivePolicy::fixed(64));
+        let err = run_resumable(
+            &campaign,
+            &mut cp,
+            &RunnerOptions {
+                checkpoint_every_ffs: 1,
+                ..RunnerOptions::default()
+            },
+            &CancelToken::new(),
+            |_| Err(io::Error::other("disk full")),
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("disk full"));
+    }
+}

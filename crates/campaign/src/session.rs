@@ -1,0 +1,614 @@
+//! Campaign sessions: durable, named campaign runs rooted in an output
+//! directory.
+//!
+//! A session directory holds:
+//!
+//! ```text
+//! <out>/
+//!   campaign.json     — manifest: circuit, stimulus, seed, policy, store
+//!   checkpoint.json   — resumable per-FF progress (atomic rename updates)
+//!   fdr.json          — final FDR table (written on completion)
+//!   fdr.csv           — final FDR table, CSV rendering
+//! ```
+//!
+//! `run` creates the manifest and drives the campaign; `resume` reloads
+//! manifest + checkpoint and continues — the final `fdr.json` is
+//! byte-identical either way. When a store is configured, the golden run
+//! and the final table are cached content-addressed: a rerun with
+//! identical inputs is served from the cache without re-simulating
+//! anything.
+
+use crate::adaptive::AdaptivePolicy;
+use crate::checkpoint::{CampaignCheckpoint, CheckpointParams};
+use crate::runner::{run_resumable, CancelToken, RunOutcome, RunnerOptions};
+use crate::spec::CircuitSpec;
+use crate::store::{ArtifactKind, ArtifactStore, StoreKey};
+use ffr_fault::{Campaign, FdrTable};
+use ffr_sim::GoldenRun;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Shortest testbench that still leaves a non-empty injection window
+/// with settling margins (see [`CircuitSpec::prepare`]).
+pub const MIN_CYCLES: u64 = 32;
+
+/// Everything needed to reproduce (and resume) a campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignManifest {
+    /// Format version ([`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// Circuit name (parsed by [`CircuitSpec`]).
+    pub circuit: String,
+    /// Stimulus seed.
+    pub stim_seed: u64,
+    /// Testbench length for the generic stimulus (ignored by the MAC
+    /// testbench, which derives its own schedule).
+    pub cycles: u64,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Adaptive stopping policy.
+    pub policy: AdaptivePolicy,
+    /// Checkpoint flush cadence, in retired flip-flops.
+    pub checkpoint_every_ffs: usize,
+    /// Artifact store root (`None` disables caching).
+    pub store: Option<String>,
+    /// Content fingerprint of (netlist, stimulus, campaign params); also
+    /// the store key of the final table.
+    pub fingerprint: String,
+}
+
+impl CampaignManifest {
+    /// Save as pretty JSON (atomic rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        crate::store::atomic_write(path, &json)
+    }
+
+    /// Load a manifest written by [`CampaignManifest::save`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, undecodable files or a version mismatch.
+    pub fn load(path: &Path) -> io::Result<CampaignManifest> {
+        let text = std::fs::read_to_string(path)?;
+        let m: CampaignManifest = serde_json::from_str(&text).map_err(io::Error::other)?;
+        if m.version != MANIFEST_VERSION {
+            return Err(io::Error::other(format!(
+                "manifest version {} unsupported (expected {MANIFEST_VERSION})",
+                m.version
+            )));
+        }
+        Ok(m)
+    }
+}
+
+/// Well-known file locations inside a session directory.
+#[derive(Debug, Clone)]
+pub struct SessionPaths {
+    /// The session root.
+    pub out_dir: PathBuf,
+}
+
+impl SessionPaths {
+    /// Paths rooted at `out_dir`.
+    pub fn new(out_dir: impl Into<PathBuf>) -> SessionPaths {
+        SessionPaths {
+            out_dir: out_dir.into(),
+        }
+    }
+
+    /// The manifest file.
+    pub fn manifest(&self) -> PathBuf {
+        self.out_dir.join("campaign.json")
+    }
+
+    /// The resumable checkpoint file.
+    pub fn checkpoint(&self) -> PathBuf {
+        self.out_dir.join("checkpoint.json")
+    }
+
+    /// The final FDR table (JSON).
+    pub fn fdr_json(&self) -> PathBuf {
+        self.out_dir.join("fdr.json")
+    }
+
+    /// The final FDR table (CSV).
+    pub fn fdr_csv(&self) -> PathBuf {
+        self.out_dir.join("fdr.csv")
+    }
+}
+
+/// Parameters for starting a fresh campaign session.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Circuit to run on.
+    pub circuit: CircuitSpec,
+    /// Stimulus seed.
+    pub stim_seed: u64,
+    /// Testbench length for generic circuits.
+    pub cycles: u64,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Stopping policy.
+    pub policy: AdaptivePolicy,
+    /// Checkpoint flush cadence.
+    pub checkpoint_every_ffs: usize,
+    /// Artifact store root (`None` disables caching).
+    pub store: Option<PathBuf>,
+    /// Ignore a cached final table and re-run.
+    pub force: bool,
+}
+
+impl RunRequest {
+    /// Sensible defaults for a circuit: paper-style fixed 170-injection
+    /// policy, checkpoint every 32 flip-flops, no store.
+    pub fn new(circuit: CircuitSpec) -> RunRequest {
+        RunRequest {
+            circuit,
+            stim_seed: 1,
+            cycles: 400,
+            seed: 2019,
+            policy: AdaptivePolicy::fixed(170),
+            checkpoint_every_ffs: 32,
+            store: None,
+            force: false,
+        }
+    }
+}
+
+/// Outcome summary of a `run`/`resume` invocation.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// How the runner ended (cache-served runs report `Complete`).
+    pub outcome: RunOutcome,
+    /// `true` if the golden run came from the artifact store.
+    pub golden_from_cache: bool,
+    /// `true` if the final table was served from the artifact store
+    /// without simulating anything.
+    pub table_from_cache: bool,
+    /// Retired flip-flops.
+    pub completed_ffs: usize,
+    /// Total flip-flops.
+    pub total_ffs: usize,
+    /// Injections executed so far (all invocations).
+    pub total_injections: usize,
+    /// Path of the final FDR table, once complete.
+    pub fdr_path: Option<PathBuf>,
+}
+
+fn open_store(path: &Option<String>) -> io::Result<Option<ArtifactStore>> {
+    match path {
+        None => Ok(None),
+        Some(p) => Ok(Some(ArtifactStore::open(p)?)),
+    }
+}
+
+/// Start (or restart) a campaign session in `out_dir`.
+///
+/// # Errors
+///
+/// Fails on I/O errors, or if `out_dir` already holds a checkpoint for a
+/// different campaign (use [`resume`] to continue one).
+pub fn run(
+    request: &RunRequest,
+    out_dir: &Path,
+    options: &RunnerOptions,
+    cancel: &CancelToken,
+    progress: impl Fn(usize, usize) + Sync,
+) -> io::Result<RunSummary> {
+    if request.cycles < MIN_CYCLES {
+        return Err(io::Error::other(format!(
+            "--cycles {} is too short for an injection window (minimum {MIN_CYCLES})",
+            request.cycles
+        )));
+    }
+    std::fs::create_dir_all(out_dir)?;
+    let paths = SessionPaths::new(out_dir);
+    let prepared = request.circuit.prepare(request.stim_seed, request.cycles);
+    let window = prepared.window.clone();
+
+    // The campaign fingerprint covers the netlist, the stimulus and every
+    // campaign parameter.
+    let campaign_desc = format!(
+        "{};window={}..{};seed={};policy={}",
+        prepared.config_desc,
+        window.start,
+        window.end,
+        request.seed,
+        request.policy.describe()
+    );
+    let fdr_key = StoreKey::of(prepared.cc.netlist(), &campaign_desc);
+
+    let manifest = CampaignManifest {
+        version: MANIFEST_VERSION,
+        circuit: request.circuit.spec_string(),
+        stim_seed: request.stim_seed,
+        cycles: request.cycles,
+        seed: request.seed,
+        policy: request.policy.clone(),
+        checkpoint_every_ffs: request.checkpoint_every_ffs,
+        store: request
+            .store
+            .as_ref()
+            .map(|p| p.to_string_lossy().into_owned()),
+        fingerprint: fdr_key.to_string(),
+    };
+
+    // Refuse to clobber a different campaign's session directory. The
+    // checkpoint is validated BEFORE the manifest is (re)written, so a
+    // directory with a readable checkpoint but a damaged manifest never
+    // loses the original campaign's parameters to an unrelated run.
+    let checkpoint = match CampaignCheckpoint::load(&paths.checkpoint()) {
+        Ok(cp) if cp.fingerprint == manifest.fingerprint => Some(cp),
+        Ok(_) => {
+            return Err(io::Error::other(format!(
+                "checkpoint in {} belongs to a different campaign; \
+                 remove it or use a fresh --out directory",
+                out_dir.display()
+            )))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e),
+    };
+    if let Ok(existing) = CampaignManifest::load(&paths.manifest()) {
+        if existing.fingerprint != manifest.fingerprint {
+            return Err(io::Error::other(format!(
+                "{} already holds a campaign with different parameters \
+                 (fingerprint {} vs {}); use a fresh --out directory",
+                out_dir.display(),
+                existing.fingerprint,
+                manifest.fingerprint
+            )));
+        }
+    }
+    manifest.save(&paths.manifest())?;
+
+    let store = open_store(&manifest.store)?;
+
+    // Fast path: final table already in the store and no partial
+    // checkpoint to honour.
+    if !request.force && checkpoint.is_none() {
+        if let Some(store) = &store {
+            if let Some(table) = store.get::<FdrTable>(ArtifactKind::FdrTable, &fdr_key)? {
+                table.save_json(&paths.fdr_json())?;
+                std::fs::write(paths.fdr_csv(), table.to_csv())?;
+                return Ok(RunSummary {
+                    outcome: RunOutcome::Complete,
+                    golden_from_cache: true,
+                    table_from_cache: true,
+                    completed_ffs: prepared.cc.num_ffs(),
+                    total_ffs: prepared.cc.num_ffs(),
+                    total_injections: 0,
+                    fdr_path: Some(paths.fdr_json()),
+                });
+            }
+        }
+    }
+    let checkpoint = checkpoint.unwrap_or_else(|| {
+        CampaignCheckpoint::fresh(
+            manifest.fingerprint.clone(),
+            CheckpointParams {
+                seed: request.seed,
+                window_start: window.start,
+                window_end: window.end,
+                policy: request.policy.clone(),
+            },
+            prepared.cc.num_ffs(),
+        )
+    });
+
+    drive(
+        prepared, manifest, checkpoint, paths, store, options, cancel, progress,
+    )
+}
+
+/// Resume the campaign session in `out_dir` from its manifest and
+/// checkpoint.
+///
+/// # Errors
+///
+/// Fails on I/O errors or if the directory holds no session.
+pub fn resume(
+    out_dir: &Path,
+    options: &RunnerOptions,
+    cancel: &CancelToken,
+    progress: impl Fn(usize, usize) + Sync,
+) -> io::Result<RunSummary> {
+    let paths = SessionPaths::new(out_dir);
+    let manifest = CampaignManifest::load(&paths.manifest()).map_err(|e| {
+        io::Error::other(format!(
+            "no campaign session in {} ({e})",
+            out_dir.display()
+        ))
+    })?;
+    let circuit: CircuitSpec = manifest.circuit.parse().map_err(io::Error::other)?;
+    let prepared = circuit.prepare(manifest.stim_seed, manifest.cycles);
+    let checkpoint = CampaignCheckpoint::load(&paths.checkpoint())?;
+    if checkpoint.fingerprint != manifest.fingerprint {
+        return Err(io::Error::other(
+            "checkpoint does not match the session manifest",
+        ));
+    }
+    let store = open_store(&manifest.store)?;
+    drive(
+        prepared, manifest, checkpoint, paths, store, options, cancel, progress,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    prepared: crate::spec::PreparedCircuit,
+    manifest: CampaignManifest,
+    mut checkpoint: CampaignCheckpoint,
+    paths: SessionPaths,
+    store: Option<ArtifactStore>,
+    options: &RunnerOptions,
+    cancel: &CancelToken,
+    progress: impl Fn(usize, usize) + Sync,
+) -> io::Result<RunSummary> {
+    // Golden run: cache by (netlist, stimulus) — campaign parameters do
+    // not affect it, so every policy/seed shares one golden artifact.
+    let golden_key = StoreKey::of(prepared.cc.netlist(), &prepared.config_desc);
+    let mut golden_from_cache = false;
+    let golden = match &store {
+        Some(store) => match store.get::<GoldenRun>(ArtifactKind::GoldenRun, &golden_key)? {
+            Some(golden) => {
+                golden_from_cache = true;
+                golden
+            }
+            None => {
+                let golden = GoldenRun::capture(&prepared.cc, &prepared.stimulus, &prepared.watch);
+                store.put(ArtifactKind::GoldenRun, &golden_key, &golden)?;
+                golden
+            }
+        },
+        None => GoldenRun::capture(&prepared.cc, &prepared.stimulus, &prepared.watch),
+    };
+
+    let judge = prepared.judge_spec.build(&golden);
+    let campaign = Campaign::with_golden(
+        &prepared.cc,
+        &prepared.stimulus,
+        &prepared.watch,
+        &judge,
+        golden,
+    );
+
+    let checkpoint_path = paths.checkpoint();
+    let mut runner_options = options.clone();
+    runner_options.checkpoint_every_ffs = manifest.checkpoint_every_ffs;
+    let outcome = run_resumable(
+        &campaign,
+        &mut checkpoint,
+        &runner_options,
+        cancel,
+        |cp| cp.save(&checkpoint_path),
+        progress,
+    )?;
+
+    let mut fdr_path = None;
+    if outcome == RunOutcome::Complete {
+        let table = checkpoint.to_fdr_table();
+        table.save_json(&paths.fdr_json())?;
+        std::fs::write(paths.fdr_csv(), table.to_csv())?;
+        fdr_path = Some(paths.fdr_json());
+        if let Some(store) = &store {
+            let fdr_key: StoreKey = parse_key(&manifest.fingerprint)?;
+            store.put(ArtifactKind::FdrTable, &fdr_key, &table)?;
+        }
+    }
+
+    Ok(RunSummary {
+        outcome,
+        golden_from_cache,
+        table_from_cache: false,
+        completed_ffs: checkpoint.completed_ffs(),
+        total_ffs: checkpoint.num_ffs,
+        total_injections: checkpoint.total_injections(),
+        fdr_path,
+    })
+}
+
+fn parse_key(rendered: &str) -> io::Result<StoreKey> {
+    let (netlist, config) = rendered
+        .split_once('-')
+        .ok_or_else(|| io::Error::other("malformed fingerprint"))?;
+    Ok(StoreKey {
+        netlist: u64::from_str_radix(netlist, 16).map_err(io::Error::other)?,
+        config: u64::from_str_radix(config, 16).map_err(io::Error::other)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ffr_session_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_request(store: Option<PathBuf>) -> RunRequest {
+        RunRequest {
+            circuit: CircuitSpec::Counter { width: 6 },
+            stim_seed: 1,
+            cycles: 160,
+            seed: 7,
+            policy: AdaptivePolicy::fixed(64),
+            checkpoint_every_ffs: 2,
+            store,
+            force: false,
+        }
+    }
+
+    #[test]
+    fn run_produces_table_and_cache_round_trip() {
+        let out = tmp_dir("run");
+        let store_dir = tmp_dir("run_store");
+        let request = quick_request(Some(store_dir));
+        let summary = run(
+            &request,
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Complete);
+        assert!(!summary.golden_from_cache);
+        assert!(!summary.table_from_cache);
+        let first = std::fs::read(out.join("fdr.json")).unwrap();
+
+        // Second run: served from the artifact cache, no simulation.
+        let out2 = tmp_dir("run2");
+        let summary2 = run(
+            &request,
+            &out2,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert!(summary2.table_from_cache);
+        assert_eq!(summary2.total_injections, 0);
+        let second = std::fs::read(out2.join("fdr.json")).unwrap();
+        assert_eq!(first, second, "cache-served table must be byte-identical");
+    }
+
+    #[test]
+    fn kill_and_resume_is_byte_identical() {
+        // Uninterrupted reference run.
+        let out_ref = tmp_dir("ref");
+        let request = quick_request(None);
+        run(
+            &request,
+            &out_ref,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        let reference = std::fs::read(out_ref.join("fdr.json")).unwrap();
+
+        // Killed after two retirements…
+        let out = tmp_dir("killed");
+        let summary = run(
+            &request,
+            &out,
+            &RunnerOptions {
+                stop_after_ffs: Some(2),
+                threads: Some(2),
+                ..RunnerOptions::default()
+            },
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Cancelled);
+        assert!(!out.join("fdr.json").exists());
+        assert!(out.join("checkpoint.json").exists());
+
+        // …and resumed to completion.
+        let summary = resume(
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Complete);
+        let resumed = std::fs::read(out.join("fdr.json")).unwrap();
+        assert_eq!(reference, resumed, "resume must be byte-identical");
+    }
+
+    #[test]
+    fn mismatched_session_directory_is_refused() {
+        let out = tmp_dir("mismatch");
+        let request = quick_request(None);
+        run(
+            &request,
+            &out,
+            &RunnerOptions {
+                stop_after_ffs: Some(1),
+                ..RunnerOptions::default()
+            },
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        // Same directory, different campaign seed → refused (the live
+        // checkpoint is checked first, before anything is overwritten).
+        let mut other = quick_request(None);
+        other.seed = 999;
+        let err = run(
+            &other,
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("different campaign"), "{err}");
+
+        // Even with a damaged manifest, the refusal happens before the
+        // manifest is rewritten — the checkpoint still wins, and the
+        // corrupt manifest is left for the user to inspect.
+        let manifest_path = out.join("campaign.json");
+        std::fs::write(&manifest_path, "{corrupt").unwrap();
+        let err = run(
+            &other,
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("different campaign"), "{err}");
+        assert_eq!(
+            std::fs::read_to_string(&manifest_path).unwrap(),
+            "{corrupt",
+            "a refused run must not clobber the existing manifest"
+        );
+
+        // A matching run (same fingerprint) may repair the manifest and
+        // resume from the checkpoint.
+        let summary = run(
+            &request,
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Complete);
+    }
+
+    #[test]
+    fn short_testbench_is_rejected_cleanly() {
+        let out = tmp_dir("short");
+        let mut request = quick_request(None);
+        request.cycles = 2;
+        let err = run(
+            &request,
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("too short"), "{err}");
+        assert!(
+            !out.exists(),
+            "rejected run must not create the session dir"
+        );
+    }
+}

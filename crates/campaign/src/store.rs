@@ -1,0 +1,470 @@
+//! Content-addressed on-disk artifact store.
+//!
+//! Expensive campaign artifacts — golden runs, FDR tables, feature
+//! matrices, reference datasets, estimation reports — are cached on disk,
+//! keyed by a fingerprint of everything that determines their content: the
+//! netlist (structure, not just name) and the producing configuration.
+//! Identical inputs are served from the cache; any change to the circuit
+//! or config changes the key and misses cleanly.
+//!
+//! # Layout
+//!
+//! ```text
+//! <root>/
+//!   golden-run/<netlist>-<config>.json
+//!   fdr-table/<netlist>-<config>.json
+//!   dataset/<netlist>-<config>.json
+//!   ...
+//! ```
+//!
+//! Every file is a versioned, self-describing JSON envelope
+//! ([`FORMAT_VERSION`]): readers verify the version, kind and key before
+//! trusting the payload, so stale or foreign files degrade to cache
+//! misses, never to corrupt results. Writes go through a temp file plus
+//! atomic rename, so a killed writer leaves either the old artifact or
+//! none — readers never see a torn file.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+/// Envelope format version; bump on breaking layout changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Grace period before garbage collection touches a `.tmp` file: a live
+/// writer's temp file is younger than this, a crashed writer's leftover
+/// is older.
+const TMP_GRACE: std::time::Duration = std::time::Duration::from_secs(3600);
+
+/// Write `contents` to `path` via a sibling temp file and an atomic
+/// rename: readers see either the previous file or the new one, never a
+/// torn write — even if the writer is SIGKILLed mid-way.
+///
+/// Shared by the artifact store, the campaign checkpoint and the session
+/// manifest, so durability fixes land in one place.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// FNV-1a 64-bit hash (the store's fingerprint primitive — fast, stable,
+/// and dependency-free).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Content-address of an artifact: netlist fingerprint plus configuration
+/// fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StoreKey {
+    /// Fingerprint of the full netlist structure.
+    pub netlist: u64,
+    /// Fingerprint of the producing configuration (stimulus, campaign
+    /// parameters, …).
+    pub config: u64,
+}
+
+impl StoreKey {
+    /// Key for a netlist (hashed over its full serialized structure) and a
+    /// caller-assembled configuration description string.
+    ///
+    /// The config string should contain **every** parameter that changes
+    /// the artifact: window, seed, injection counts, stimulus knobs…
+    /// Convention: `name=value` pairs joined with `;`.
+    pub fn of(netlist: &ffr_netlist::Netlist, config_desc: &str) -> StoreKey {
+        let serialized =
+            serde_json::to_string(netlist).expect("netlist serialization is infallible");
+        StoreKey {
+            netlist: fnv1a64(serialized.as_bytes()),
+            config: fnv1a64(config_desc.as_bytes()),
+        }
+    }
+}
+
+impl fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}-{:016x}", self.netlist, self.config)
+    }
+}
+
+/// The artifact categories the store understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArtifactKind {
+    /// A serialized [`ffr_sim::GoldenRun`].
+    GoldenRun,
+    /// A serialized [`ffr_fault::FdrTable`].
+    FdrTable,
+    /// A serialized [`ffr_features::FeatureMatrix`].
+    Features,
+    /// A serialized [`ffr_core::ReferenceDataset`].
+    Dataset,
+    /// A rendered estimation/campaign report.
+    Report,
+}
+
+impl ArtifactKind {
+    /// All kinds, for directory scans.
+    pub const ALL: [ArtifactKind; 5] = [
+        ArtifactKind::GoldenRun,
+        ArtifactKind::FdrTable,
+        ArtifactKind::Features,
+        ArtifactKind::Dataset,
+        ArtifactKind::Report,
+    ];
+
+    /// Directory name of the kind.
+    pub fn dir_name(self) -> &'static str {
+        match self {
+            ArtifactKind::GoldenRun => "golden-run",
+            ArtifactKind::FdrTable => "fdr-table",
+            ArtifactKind::Features => "features",
+            ArtifactKind::Dataset => "dataset",
+            ArtifactKind::Report => "report",
+        }
+    }
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.dir_name())
+    }
+}
+
+/// Metadata of one stored artifact (from [`ArtifactStore::list`]).
+#[derive(Debug, Clone)]
+pub struct ArtifactInfo {
+    /// Artifact category.
+    pub kind: ArtifactKind,
+    /// File name (key + `.json`).
+    pub file_name: String,
+    /// Full path.
+    pub path: PathBuf,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Last modification time.
+    pub modified: SystemTime,
+}
+
+/// Result summary of a [`ArtifactStore::gc`] sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Number of files removed.
+    pub removed: usize,
+    /// Bytes reclaimed.
+    pub reclaimed_bytes: u64,
+    /// Number of files kept.
+    pub kept: usize,
+}
+
+/// A content-addressed artifact store rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(ArtifactStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, kind: ArtifactKind, key: &StoreKey) -> PathBuf {
+        self.root.join(kind.dir_name()).join(format!("{key}.json"))
+    }
+
+    /// `true` if an artifact exists for `(kind, key)`.
+    pub fn contains(&self, kind: ArtifactKind, key: &StoreKey) -> bool {
+        self.path_of(kind, key).is_file()
+    }
+
+    /// Store an artifact, atomically replacing any previous version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn put<T: Serialize>(
+        &self,
+        kind: ArtifactKind,
+        key: &StoreKey,
+        payload: &T,
+    ) -> io::Result<PathBuf> {
+        let envelope = Value::Object(vec![
+            ("format_version".into(), Value::U64(FORMAT_VERSION as u64)),
+            ("kind".into(), Value::Str(kind.dir_name().into())),
+            ("key".into(), Value::Str(key.to_string())),
+            ("payload".into(), payload.to_value()),
+        ]);
+        let text = serde_json::to_string(&ValueWrap(&envelope)).expect("envelope serializes");
+        let path = self.path_of(kind, key);
+        std::fs::create_dir_all(path.parent().expect("artifact path has a parent"))?;
+        atomic_write(&path, &text)?;
+        Ok(path)
+    }
+
+    /// Load an artifact, or `None` on a cache miss (missing file, version
+    /// mismatch, kind/key mismatch, or undecodable payload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures other than "not found".
+    pub fn get<T: Deserialize>(&self, kind: ArtifactKind, key: &StoreKey) -> io::Result<Option<T>> {
+        let path = self.path_of(kind, key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let Ok(envelope) = serde_json::parse_value_complete(&text) else {
+            return Ok(None);
+        };
+        let version = envelope.get("format_version").and_then(|v| match v {
+            Value::U64(n) => Some(*n),
+            _ => None,
+        });
+        if version != Some(FORMAT_VERSION as u64) {
+            return Ok(None);
+        }
+        if envelope.get("kind").and_then(Value::as_str) != Some(kind.dir_name()) {
+            return Ok(None);
+        }
+        if envelope.get("key").and_then(Value::as_str) != Some(key.to_string().as_str()) {
+            return Ok(None);
+        }
+        let Some(payload) = envelope.get("payload") else {
+            return Ok(None);
+        };
+        Ok(T::from_value(payload).ok())
+    }
+
+    /// Enumerate every artifact in the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures.
+    pub fn list(&self) -> io::Result<Vec<ArtifactInfo>> {
+        let mut out = Vec::new();
+        for kind in ArtifactKind::ALL {
+            let dir = self.root.join(kind.dir_name());
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let path = entry.path();
+                let file_name = entry.file_name().to_string_lossy().into_owned();
+                if !file_name.ends_with(".json") {
+                    continue;
+                }
+                let meta = entry.metadata()?;
+                out.push(ArtifactInfo {
+                    kind,
+                    file_name,
+                    path,
+                    bytes: meta.len(),
+                    modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            (a.kind.dir_name(), &a.file_name).cmp(&(b.kind.dir_name(), &b.file_name))
+        });
+        Ok(out)
+    }
+
+    /// Remove artifacts: everything older than `max_age`, or everything if
+    /// `max_age` is `None`. Leftover temp files from killed writers are
+    /// removed once they outlive a one-hour grace period (younger ones may
+    /// belong to a live writer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn gc(&self, max_age: Option<std::time::Duration>) -> io::Result<GcReport> {
+        let now = SystemTime::now();
+        let mut report = GcReport::default();
+        for kind in ArtifactKind::ALL {
+            let dir = self.root.join(kind.dir_name());
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let path = entry.path();
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let meta = entry.metadata()?;
+                let older_than = |age: std::time::Duration| {
+                    meta.modified()
+                        .ok()
+                        .and_then(|m| now.duration_since(m).ok())
+                        .is_some_and(|elapsed| elapsed > age)
+                };
+                // A .tmp file younger than the grace period may belong to a
+                // concurrent writer mid-`atomic_write`; leave it alone.
+                let is_tmp = name.ends_with(".tmp");
+                if is_tmp && !older_than(TMP_GRACE) {
+                    report.kept += 1;
+                    continue;
+                }
+                let expired = match max_age {
+                    None => true,
+                    Some(age) => older_than(age),
+                };
+                if is_tmp || expired {
+                    std::fs::remove_file(&path)?;
+                    report.removed += 1;
+                    report.reclaimed_bytes += meta.len();
+                } else {
+                    report.kept += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Serialize adapter: a raw [`Value`] is its own serialization.
+struct ValueWrap<'a>(&'a Value);
+
+impl Serialize for ValueWrap<'_> {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> ArtifactStore {
+        let dir = std::env::temp_dir().join(format!("ffr_store_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactStore::open(dir).unwrap()
+    }
+
+    fn key() -> StoreKey {
+        StoreKey {
+            netlist: 0xAB,
+            config: 0xCD,
+        }
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = tmp_store("roundtrip");
+        let data: Vec<u64> = vec![1, 2, 3, u64::MAX];
+        assert!(!store.contains(ArtifactKind::FdrTable, &key()));
+        store.put(ArtifactKind::FdrTable, &key(), &data).unwrap();
+        assert!(store.contains(ArtifactKind::FdrTable, &key()));
+        let loaded: Option<Vec<u64>> = store.get(ArtifactKind::FdrTable, &key()).unwrap();
+        assert_eq!(loaded, Some(data));
+    }
+
+    #[test]
+    fn kind_and_key_mismatches_miss() {
+        let store = tmp_store("mismatch");
+        store.put(ArtifactKind::Report, &key(), &42u64).unwrap();
+        let other_kind: Option<u64> = store.get(ArtifactKind::Dataset, &key()).unwrap();
+        assert_eq!(other_kind, None);
+        let other_key = StoreKey {
+            netlist: 1,
+            config: 2,
+        };
+        let missing: Option<u64> = store.get(ArtifactKind::Report, &other_key).unwrap();
+        assert_eq!(missing, None);
+    }
+
+    #[test]
+    fn corrupt_files_degrade_to_miss() {
+        let store = tmp_store("corrupt");
+        let path = store.put(ArtifactKind::Report, &key(), &1u64).unwrap();
+        std::fs::write(&path, "{not json").unwrap();
+        let loaded: Option<u64> = store.get(ArtifactKind::Report, &key()).unwrap();
+        assert_eq!(loaded, None);
+        // Wrong format version is also a miss.
+        std::fs::write(
+            &path,
+            r#"{"format_version":999,"kind":"report","key":"x","payload":1}"#,
+        )
+        .unwrap();
+        let loaded: Option<u64> = store.get(ArtifactKind::Report, &key()).unwrap();
+        assert_eq!(loaded, None);
+    }
+
+    #[test]
+    fn list_and_gc() {
+        let store = tmp_store("gc");
+        store.put(ArtifactKind::Report, &key(), &1u64).unwrap();
+        store
+            .put(
+                ArtifactKind::Dataset,
+                &StoreKey {
+                    netlist: 5,
+                    config: 6,
+                },
+                &2u64,
+            )
+            .unwrap();
+        assert_eq!(store.list().unwrap().len(), 2);
+        // Nothing is older than an hour.
+        let report = store
+            .gc(Some(std::time::Duration::from_secs(3600)))
+            .unwrap();
+        assert_eq!(report.removed, 0);
+        assert_eq!(report.kept, 2);
+        // Unconditional gc removes everything.
+        let report = store.gc(None).unwrap();
+        assert_eq!(report.removed, 2);
+        assert!(store.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn store_keys_are_structure_sensitive() {
+        use ffr_netlist::NetlistBuilder;
+        let build = |width| {
+            let mut b = NetlistBuilder::new("k");
+            let en = b.input("en", 1);
+            let r = b.reg("r", width);
+            let next = b.inc(&r.q());
+            b.connect_en(&r, &en, &next).unwrap();
+            b.output("v", &r.q());
+            b.finish().unwrap()
+        };
+        let a = StoreKey::of(&build(4), "cfg");
+        let b = StoreKey::of(&build(4), "cfg");
+        let c = StoreKey::of(&build(5), "cfg");
+        let d = StoreKey::of(&build(4), "other");
+        assert_eq!(a, b);
+        assert_ne!(a.netlist, c.netlist);
+        assert_eq!(a.netlist, d.netlist);
+        assert_ne!(a.config, d.config);
+    }
+}

@@ -1,0 +1,230 @@
+//! Process-level checkpoint/resume determinism: run the real `ffr`
+//! binary, SIGKILL it mid-campaign, resume, and require the final FDR
+//! table to be byte-identical to an uninterrupted run with the same seed.
+//! Also exercises the artifact-store fast path: a rerun with identical
+//! inputs must be served from the cache.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const FFR: &str = env!("CARGO_BIN_EXE_ffr");
+
+fn fresh_dir(base: &Path, name: &str) -> PathBuf {
+    let dir = base.join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ffr(args: &[&str]) -> std::process::Output {
+    Command::new(FFR)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn ffr")
+}
+
+/// Campaign arguments sized so a debug-build run takes long enough to be
+/// killed mid-flight, but finishes in seconds once resumed.
+fn campaign_args(out: &str, store: &str) -> Vec<String> {
+    [
+        "run",
+        "--circuit",
+        "lfsr:16:8",
+        "--out",
+        out,
+        "--store",
+        store,
+        "--cycles",
+        "2500",
+        "--injections",
+        "256",
+        "--checkpoint-every",
+        "1",
+        "--threads",
+        "1",
+        "--seed",
+        "99",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn sigkill_mid_campaign_resumes_byte_identical() {
+    let base = std::env::temp_dir().join(format!("ffr_sigkill_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let store = base.join("store");
+    let store_s = store.to_string_lossy().into_owned();
+
+    // Uninterrupted reference run (its own store so the later cache-hit
+    // assertion is meaningful).
+    let ref_out = fresh_dir(&base, "reference");
+    let ref_store = fresh_dir(&base, "reference-store");
+    let output = ffr(
+        &campaign_args(&ref_out.to_string_lossy(), &ref_store.to_string_lossy())
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        output.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let reference = std::fs::read(ref_out.join("fdr.json")).unwrap();
+
+    // Victim run: SIGKILL as soon as the first checkpoint lands on disk.
+    let out = fresh_dir(&base, "victim");
+    let out_s = out.to_string_lossy().into_owned();
+    let args = campaign_args(&out_s, &store_s);
+    let mut child = Command::new(FFR)
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ffr run");
+    let checkpoint = out.join("checkpoint.json");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut killed_mid_run = false;
+    loop {
+        if checkpoint.exists() {
+            // A checkpoint exists — kill the process hard, mid-campaign.
+            if child.try_wait().expect("try_wait").is_none() {
+                child.kill().expect("SIGKILL ffr");
+                killed_mid_run = true;
+            }
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            break; // finished before we could kill it
+        }
+        assert!(Instant::now() < deadline, "ffr run produced no checkpoint");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = child.wait();
+
+    if killed_mid_run {
+        assert!(
+            !out.join("fdr.json").exists(),
+            "killed run must not have produced a final table"
+        );
+        // Resume (possibly more than once if the kill landed before any
+        // retirement made it to disk).
+        for _ in 0..3 {
+            let output = ffr(&["resume", "--out", &out_s]);
+            if output.status.success() {
+                break;
+            }
+        }
+    }
+    let resumed = std::fs::read(out.join("fdr.json")).expect("resumed table exists");
+    assert_eq!(
+        reference, resumed,
+        "resumed campaign must be byte-identical to the uninterrupted run"
+    );
+
+    // Rerun with identical inputs: the victim's store now holds golden run
+    // and table; the run must be cache-served (no re-simulation) and
+    // byte-identical again.
+    let out2 = fresh_dir(&base, "cached");
+    let out2_s = out2.to_string_lossy().into_owned();
+    let args = campaign_args(&out2_s, &store_s);
+    let output = ffr(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("artifact cache"),
+        "expected a cache-served run, got: {stdout}"
+    );
+    let cached = std::fs::read(out2.join("fdr.json")).unwrap();
+    assert_eq!(reference, cached);
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn status_and_report_on_finished_campaign() {
+    let base = std::env::temp_dir().join(format!("ffr_report_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let out = base.join("session");
+    let out_s = out.to_string_lossy().into_owned();
+    let output = ffr(&[
+        "run",
+        "--circuit",
+        "counter:6",
+        "--out",
+        &out_s,
+        "--cycles",
+        "160",
+        "--injections",
+        "64",
+    ]);
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let status = ffr(&["status", "--out", &out_s]);
+    assert!(status.status.success());
+    let text = String::from_utf8_lossy(&status.stdout);
+    assert!(text.contains("complete"), "{text}");
+
+    let report = ffr(&["report", "--out", &out_s]);
+    assert!(report.status.success());
+    let text = String::from_utf8_lossy(&report.stdout);
+    assert!(text.contains("circuit-level FDR"), "{text}");
+    assert!(text.contains("FDR histogram"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn adaptive_cli_campaign_completes_and_saves_injections() {
+    let base = std::env::temp_dir().join(format!("ffr_adaptive_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let fixed_out = base.join("fixed");
+    let adaptive_out = base.join("adaptive");
+    for (out, extra) in [
+        (&fixed_out, vec!["--injections", "256"]),
+        (&adaptive_out, vec!["--adaptive", "64:256:0.06"]),
+    ] {
+        let out_s = out.to_string_lossy().into_owned();
+        let mut args = vec![
+            "run",
+            "--circuit",
+            "traffic",
+            "--out",
+            &out_s,
+            "--cycles",
+            "400",
+        ];
+        args.extend(extra);
+        let output = ffr(&args);
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    // Both campaigns completed; the adaptive one spent fewer injections.
+    let count_injections = |dir: &Path| -> usize {
+        let text = std::fs::read_to_string(dir.join("fdr.csv")).unwrap();
+        text.lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse::<usize>().unwrap())
+            .sum()
+    };
+    let fixed = count_injections(&fixed_out);
+    let adaptive = count_injections(&adaptive_out);
+    assert!(
+        adaptive < fixed,
+        "adaptive sampling should spend fewer injections ({adaptive} vs {fixed})"
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}

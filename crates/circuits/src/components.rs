@@ -42,10 +42,7 @@ pub fn sync_fifo(
 
     let empty = b.eq(&wptr.q(), &rptr.q());
     let msb_neq = b.xor(&wptr.q().msb(), &rptr.q().msb());
-    let low_eq = b.eq(
-        &wptr.q().slice(0..addr_bits),
-        &rptr.q().slice(0..addr_bits),
-    );
+    let low_eq = b.eq(&wptr.q().slice(0..addr_bits), &rptr.q().slice(0..addr_bits));
     let full = b.and(&msb_neq, &low_eq);
 
     let not_full = b.not(&full);
@@ -268,7 +265,11 @@ mod tests {
             }
             s.eval(&cc);
             let got = out_bus(&cc, &s, 0, 32) as u32;
-            assert_eq!(got, crc32_update_sw(crc0, word, 16), "crc({crc0:#x},{word:#x})");
+            assert_eq!(
+                got,
+                crc32_update_sw(crc0, word, 16),
+                "crc({crc0:#x},{word:#x})"
+            );
         }
     }
 
@@ -294,7 +295,9 @@ mod tests {
         let mut model: std::collections::VecDeque<u64> = Default::default();
         let mut lcg = 0x1234_5678u64;
         for step_no in 0..200 {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let wr = (lcg >> 33) & 1 == 1;
             let rd = (lcg >> 34) & 1 == 1;
             let data = (lcg >> 40) & 0xFF;
@@ -362,7 +365,10 @@ mod tests {
         for _ in 0..255 {
             s.set_input(&cc, 0, true);
             s.eval(&cc);
-            assert!(seen.insert(out_bus(&cc, &s, 0, 8)), "LFSR state repeated early");
+            assert!(
+                seen.insert(out_bus(&cc, &s, 0, 8)),
+                "LFSR state repeated early"
+            );
             s.tick(&cc);
         }
         s.eval(&cc);

@@ -200,7 +200,8 @@ fn elaborate(cfg: &Mac10geConfig) -> Netlist {
     // The TX FIFO's read-enable depends on its own head flags (garbage
     // drop in IDLE, payload pop in DATA), so the pointer is attached after
     // construction via the late-rd variant.
-    let tx_fifo = sync_fifo_with_late_rd(&mut b, "tx_fifo", cfg.fifo_addr_bits, &tx_valid, &tx_entry);
+    let tx_fifo =
+        sync_fifo_with_late_rd(&mut b, "tx_fifo", cfg.fifo_addr_bits, &tx_valid, &tx_entry);
     let head_data = tx_fifo.rd_data.slice(0..w);
     let head_sop = tx_fifo.rd_data.bit(w);
     let head_eop = tx_fifo.rd_data.bit(w + 1);
@@ -476,12 +477,10 @@ fn elaborate(cfg: &Mac10geConfig) -> Netlist {
         .concat(&zero) // eop
         .concat(&zero); // err
     let zero_w = b.lit(w, 0);
-    let eop_entry = zero_w
-        .concat(&n_started)
-        .concat(&one)
-        .concat(&crc_bad);
+    let eop_entry = zero_w.concat(&n_started).concat(&one).concat(&crc_bad);
     let rx_entry = b.mux(&end_seen, &payload_entry, &eop_entry);
-    let rx_fifo = sync_fifo_with_late_rd(&mut b, "rx_fifo", cfg.fifo_addr_bits, &rx_wr_en, &rx_entry);
+    let rx_fifo =
+        sync_fifo_with_late_rd(&mut b, "rx_fifo", cfg.fifo_addr_bits, &rx_wr_en, &rx_entry);
     let rx_not_empty = b.not(&rx_fifo.empty);
     let rx_rd_en = b.and(&rx_ready, &rx_not_empty);
     rx_fifo.connect_rd_en(&mut b, &rx_rd_en);
@@ -580,10 +579,7 @@ fn sync_fifo_with_late_rd(
 
     let empty = b.eq(&wptr.q(), &rptr.q());
     let msb_neq = b.xor(&wptr.q().msb(), &rptr.q().msb());
-    let low_eq = b.eq(
-        &wptr.q().slice(0..addr_bits),
-        &rptr.q().slice(0..addr_bits),
-    );
+    let low_eq = b.eq(&wptr.q().slice(0..addr_bits), &rptr.q().slice(0..addr_bits));
     let full = b.and(&msb_neq, &low_eq);
 
     let not_full = b.not(&full);

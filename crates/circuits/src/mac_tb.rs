@@ -122,7 +122,11 @@ impl MacTestbench {
     ///
     /// Panics if the netlist lacks the MAC's ports or the traffic
     /// configuration is inconsistent.
-    pub fn new(netlist: &Netlist, mac_cfg: &Mac10geConfig, traffic: &TrafficConfig) -> MacTestbench {
+    pub fn new(
+        netlist: &Netlist,
+        mac_cfg: &Mac10geConfig,
+        traffic: &TrafficConfig,
+    ) -> MacTestbench {
         assert!(
             traffic.min_payload > mac_cfg.crc_words(),
             "payload must exceed the CRC pipe depth"
@@ -169,7 +173,7 @@ impl MacTestbench {
             }
             packets.push(Packet::sent(words));
             let gap = rng.gen_range(traffic.gap_min..=traffic.gap_max);
-            schedule.extend(std::iter::repeat(TxCmd::default()).take(gap));
+            schedule.extend(std::iter::repeat_n(TxCmd::default(), gap));
         }
         let last_send = schedule.len() as u64;
         let num_cycles = last_send + traffic.tail_cycles;
@@ -396,10 +400,7 @@ impl FailureJudge for MacJudge {
             // Frames are missing. If reception stopped exactly at the
             // injection point (nothing arrived afterwards), the circuit
             // hung; otherwise individual frames were lost.
-            let before_inject = want
-                .iter()
-                .filter(|p| p.eop_cycle < inject_cycle)
-                .count();
+            let before_inject = want.iter().filter(|p| p.eop_cycle < inject_cycle).count();
             return if matched <= before_inject {
                 FailureClass::Hang
             } else {

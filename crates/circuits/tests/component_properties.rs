@@ -1,6 +1,6 @@
 //! Property tests of the RTL component library against software models.
 
-use ffr_circuits::components::{crc32_update_sw, sync_fifo, crc32_update};
+use ffr_circuits::components::{crc32_update, crc32_update_sw, sync_fifo};
 use ffr_circuits::{Mac10geConfig, MacTestbench, PacketExtractor, TrafficConfig};
 use ffr_netlist::NetlistBuilder;
 use ffr_sim::{CompiledCircuit, GoldenRun, LaneView, SimState};

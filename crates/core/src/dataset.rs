@@ -39,8 +39,9 @@ impl ReferenceDataset {
     {
         let campaign = Campaign::new(cc, stimulus, watch, judge);
         let features = extract_features(cc, &campaign.golden().activity);
-        let all: Vec<ffr_netlist::FfId> =
-            (0..cc.num_ffs()).map(ffr_netlist::FfId::from_index).collect();
+        let all: Vec<ffr_netlist::FfId> = (0..cc.num_ffs())
+            .map(ffr_netlist::FfId::from_index)
+            .collect();
         let table: FdrTable = campaign.run_parallel_subset(&all, config, progress);
         ReferenceDataset {
             features,

@@ -123,6 +123,26 @@ where
         }
     }
 
+    /// Prepare the flow around an already-captured golden run (e.g. one
+    /// served from an artifact store) instead of re-simulating it — the
+    /// golden run is the most expensive part of flow setup on large
+    /// designs.
+    pub fn with_golden(
+        cc: &'a CompiledCircuit,
+        stimulus: &'a S,
+        watch: &'a WatchList,
+        judge: &'a J,
+        golden: ffr_sim::GoldenRun,
+    ) -> EstimationFlow<'a, S, J> {
+        let campaign = Campaign::with_golden(cc, stimulus, watch, judge, golden);
+        let features = extract_features(cc, &campaign.golden().activity);
+        EstimationFlow {
+            campaign,
+            features,
+            num_ffs: cc.num_ffs(),
+        }
+    }
+
     /// The extracted feature matrix.
     pub fn features(&self) -> &FeatureMatrix {
         &self.features
@@ -158,7 +178,10 @@ where
 
         // Train on measured values.
         let rows = self.features.to_rows();
-        let tx: Vec<Vec<f64>> = trained_ffs.iter().map(|&f| rows[f.index()].clone()).collect();
+        let tx: Vec<Vec<f64>> = trained_ffs
+            .iter()
+            .map(|&f| rows[f.index()].clone())
+            .collect();
         let ty: Vec<f64> = trained_ffs
             .iter()
             .map(|&f| measured.fdr(f).expect("trained FF measured"))
@@ -168,12 +191,12 @@ where
 
         // Assemble the per-FF estimates (clamped to the valid FDR range).
         let mut per_ff = Vec::with_capacity(self.num_ffs);
-        for i in 0..self.num_ffs {
+        for (i, row) in rows.iter().enumerate().take(self.num_ffs) {
             let ff = FfId::from_index(i);
             match measured.fdr(ff) {
                 Some(v) => per_ff.push(FdrEstimate::Measured(v)),
                 None => {
-                    let p = model.predict_one(&rows[i]).clamp(0.0, 1.0);
+                    let p = model.predict_one(row).clamp(0.0, 1.0);
                     per_ff.push(FdrEstimate::Predicted(p));
                 }
             }
@@ -217,6 +240,30 @@ mod tests {
         // The circuit FDR is a sane aggregate.
         let c = est.circuit_fdr();
         assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn cached_golden_run_matches_fresh_capture() {
+        let (cc, tb, watch, extractor) =
+            MacTestbench::setup(Mac10geConfig::small(), &TrafficConfig::small());
+        let golden = GoldenRun::capture(&cc, &tb, &watch);
+        let judge = MacJudge::new(extractor, &golden);
+        let config = FlowConfig {
+            training_fraction: 0.25,
+            injections_per_ff: 4,
+            window: tb.injection_window(),
+            seed: 3,
+        };
+        let fresh = EstimationFlow::new(&cc, &tb, &watch, &judge);
+        let cached = EstimationFlow::with_golden(&cc, &tb, &watch, &judge, golden);
+        assert_eq!(
+            fresh.features().to_rows(),
+            cached.features().to_rows(),
+            "features must not depend on how the golden run was obtained"
+        );
+        let a = fresh.estimate(ModelKind::Knn, &config);
+        let b = cached.estimate(ModelKind::Knn, &config);
+        assert_eq!(a.values(), b.values());
     }
 
     #[test]

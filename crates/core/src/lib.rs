@@ -36,7 +36,7 @@ mod report;
 pub mod savings;
 
 pub use dataset::ReferenceDataset;
-pub use flow::{EstimationFlow, Estimation, FdrEstimate, FlowConfig};
+pub use flow::{Estimation, EstimationFlow, FdrEstimate, FlowConfig};
 pub use models::{DecisionTreeParams, KnnParams, ModelKind, SvrParams};
 pub use report::{
     compare_models, evaluate_model, model_learning_curve, prediction_report, LearningCurveReport,

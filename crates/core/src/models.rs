@@ -3,8 +3,8 @@
 
 use ffr_ml::{
     Activation, Distance, GradientBoostingRegressor, Kernel, KnnRegressor, LinearRegression,
-    MlpRegressor, RandomForestRegressor, Regressor, RidgeRegression, ScaledRegressor,
-    SvrRegressor, WeightScheme,
+    MlpRegressor, RandomForestRegressor, Regressor, RidgeRegression, ScaledRegressor, SvrRegressor,
+    WeightScheme,
 };
 use serde::{Deserialize, Serialize};
 
@@ -84,12 +84,9 @@ impl ModelKind {
             ModelKind::RandomForest => {
                 Box::new(RandomForestRegressor::new(60, 12, 0).with_min_samples_leaf(2))
             }
-            ModelKind::GradientBoosting => {
-                Box::new(GradientBoostingRegressor::new(150, 0.1, 3))
-            }
+            ModelKind::GradientBoosting => Box::new(GradientBoostingRegressor::new(150, 0.1, 3)),
             ModelKind::Mlp => Box::new(ScaledRegressor::new(
-                MlpRegressor::new(vec![32, 16], Activation::Relu, 300, 0)
-                    .with_learning_rate(0.01),
+                MlpRegressor::new(vec![32, 16], Activation::Relu, 300, 0).with_learning_rate(0.01),
             )),
         }
     }
@@ -202,7 +199,9 @@ mod tests {
 
     #[test]
     fn every_model_builds_and_fits() {
-        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 8) as f64, (i % 3) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 8) as f64, (i % 3) as f64])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| (r[0] * 0.1 + r[1]).min(1.0)).collect();
         for kind in ModelKind::ALL {
             let mut m = kind.build();

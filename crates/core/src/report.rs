@@ -169,7 +169,11 @@ impl fmt::Display for PredictionReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Prediction report — {}", self.kind)?;
         writeln!(f, "test-split scores: {}", self.test_scores)?;
-        writeln!(f, "{:<6} {:>10} {:>10} {:>10}", "idx", "true", "pred", "error")?;
+        writeln!(
+            f,
+            "{:<6} {:>10} {:>10} {:>10}",
+            "idx", "true", "pred", "error"
+        )?;
         for (set, rows) in [("train", &self.train), ("test", &self.test)] {
             writeln!(f, "-- {set} split ({} flip-flops)", rows.len())?;
             for (i, (t, p)) in rows.iter().enumerate() {
@@ -301,13 +305,7 @@ mod tests {
     #[test]
     fn learning_curve_flattens() {
         let ds = synthetic(250);
-        let rep = model_learning_curve(
-            ModelKind::Knn,
-            &ds,
-            &[0.1, 0.3, 0.5, 0.7, 0.9],
-            5,
-            7,
-        );
+        let rep = model_learning_curve(ModelKind::Knn, &ds, &[0.1, 0.3, 0.5, 0.7, 0.9], 5, 7);
         assert_eq!(rep.points.len(), 5);
         // Test score at 50 % should be close to the score at 90 % —
         // the paper's central cost-saving observation.

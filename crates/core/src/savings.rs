@@ -23,7 +23,10 @@ pub struct SavingsRow {
 
 /// Build the trade-off table from a learning curve.
 pub fn savings_table(points: &[LearningCurvePoint]) -> Vec<SavingsRow> {
-    let best = points.iter().map(|p| p.test_r2).fold(f64::NEG_INFINITY, f64::max);
+    let best = points
+        .iter()
+        .map(|p| p.test_r2)
+        .fold(f64::NEG_INFINITY, f64::max);
     points
         .iter()
         .map(|p| SavingsRow {

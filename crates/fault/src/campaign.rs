@@ -79,6 +79,32 @@ where
         judge: &'a J,
     ) -> Campaign<'a, S, J> {
         let golden = GoldenRun::capture(cc, stimulus, watch);
+        Campaign::with_golden(cc, stimulus, watch, judge, golden)
+    }
+
+    /// Prepare the campaign around an already-captured golden run (e.g. one
+    /// served from an artifact store instead of re-simulated).
+    ///
+    /// The golden run must have been captured for exactly this circuit,
+    /// stimulus and watch list; the constructor checks the cheap structural
+    /// invariants (cycle count, trace width).
+    pub fn with_golden(
+        cc: &'a CompiledCircuit,
+        stimulus: &'a S,
+        watch: &'a WatchList,
+        judge: &'a J,
+        golden: GoldenRun,
+    ) -> Campaign<'a, S, J> {
+        assert_eq!(
+            golden.journal.cycles(),
+            stimulus.num_cycles(),
+            "golden run was captured for a different testbench length"
+        );
+        assert_eq!(
+            golden.trace.width(),
+            watch.len(),
+            "golden run was captured for a different watch list"
+        );
         Campaign {
             cc,
             stimulus,
@@ -106,18 +132,38 @@ where
             config.window.clone(),
             config.injections_per_ff,
         );
+        FfCampaignResult::new(ff, self.run_ff_times(ff, &times, config))
+    }
+
+    /// Inject exactly the given fault times into one flip-flop and return
+    /// the per-class tallies (indexed like [`FailureClass::ALL`]).
+    ///
+    /// This is the resumable unit of campaign work: a caller that owns the
+    /// full injection plan (from [`sample_injection_times`]) can run any
+    /// slice of it, persist the accumulated tallies, and continue later —
+    /// the tallies of two slices simply add. Classification batches the
+    /// times into 64-lane groups internally, so slicing at multiples of 64
+    /// reproduces [`Campaign::run_ff`] exactly; tallies are
+    /// order-insensitive, so any slicing yields the same totals.
+    ///
+    /// [`sample_injection_times`]: crate::sample_injection_times
+    pub fn run_ff_times(
+        &self,
+        ff: FfId,
+        times: &[u64],
+        config: &CampaignConfig,
+    ) -> [usize; FailureClass::ALL.len()] {
         let mut class_counts = [0usize; FailureClass::ALL.len()];
         for chunk in times.chunks(64) {
             let (trace, converged_at) = self.simulate_batch(ff, chunk, config);
             let golden_view = LaneView::golden(&self.golden.trace);
             for (lane, &inject_cycle) in chunk.iter().enumerate() {
-                let view =
-                    LaneView::faulty(&self.golden.trace, &trace, lane, converged_at[lane]);
+                let view = LaneView::faulty(&self.golden.trace, &trace, lane, converged_at[lane]);
                 let class = self.judge.classify(&golden_view, &view, inject_cycle);
                 class_counts[class.tally_index()] += 1;
             }
         }
-        FfCampaignResult::new(ff, class_counts)
+        class_counts
     }
 
     /// Simulate up to 64 injections into `ff` (one per lane), returning the
@@ -179,9 +225,9 @@ where
                     let diff = state.diff_lanes(self.cc, self.golden.journal.state_at(next));
                     let newly = active & !diff & !converged;
                     if newly != 0 {
-                        for lane in 0..times.len() {
+                        for (lane, at) in converged_at.iter_mut().enumerate() {
                             if newly & (1u64 << lane) != 0 {
-                                converged_at[lane] = Some(next);
+                                *at = Some(next);
                             }
                         }
                         converged |= newly;
@@ -285,7 +331,9 @@ mod tests {
         let watch = WatchList::all(&cc);
         let judge = OutputMismatchJudge::new();
         let campaign = Campaign::new(&cc, &AlwaysOn, &watch, &judge);
-        let config = CampaignConfig::new(10..100).with_injections(24).with_seed(3);
+        let config = CampaignConfig::new(10..100)
+            .with_injections(24)
+            .with_seed(3);
         let table = campaign.run(&config);
 
         let netlist = cc.netlist();
@@ -309,7 +357,9 @@ mod tests {
         let watch = WatchList::all(&cc);
         let judge = OutputMismatchJudge::new();
         let campaign = Campaign::new(&cc, &AlwaysOn, &watch, &judge);
-        let config = CampaignConfig::new(10..100).with_injections(16).with_seed(7);
+        let config = CampaignConfig::new(10..100)
+            .with_injections(16)
+            .with_seed(7);
         let seq = campaign.run(&config);
         let par = campaign.run_parallel(&config);
         for (ff, _) in cc.netlist().ffs() {
@@ -323,7 +373,9 @@ mod tests {
         let watch = WatchList::all(&cc);
         let judge = OutputMismatchJudge::new();
         let campaign = Campaign::new(&cc, &AlwaysOn, &watch, &judge);
-        let mut fast = CampaignConfig::new(10..100).with_injections(32).with_seed(11);
+        let mut fast = CampaignConfig::new(10..100)
+            .with_injections(32)
+            .with_seed(11);
         let mut slow = fast.clone();
         fast.early_exit = true;
         slow.early_exit = false;
@@ -355,7 +407,9 @@ mod tests {
         let watch = WatchList::all(&cc);
         let judge = OutputMismatchJudge::new();
         let campaign = Campaign::new(&cc, &AlwaysOn, &watch, &judge);
-        let config = CampaignConfig::new(10..100).with_injections(16).with_seed(5);
+        let config = CampaignConfig::new(10..100)
+            .with_injections(16)
+            .with_seed(5);
         let t1 = campaign.run(&config);
         let t2 = campaign.run(&config);
         for (ff, _) in cc.netlist().ffs() {

@@ -87,5 +87,4 @@ mod tests {
         let lenient = OutputMismatchJudge { grace_cycles: 4 };
         assert_eq!(lenient.classify(&g, &f2, 2), FailureClass::Benign);
     }
-
 }

@@ -35,5 +35,5 @@ pub mod set;
 pub use campaign::{Campaign, CampaignConfig};
 pub use judge::{FailureJudge, OutputMismatchJudge};
 pub use model::{FailureClass, Fault, FaultKind};
-pub use result::{FdrHistogram, FdrTable, FfCampaignResult};
+pub use result::{failures_in, FdrHistogram, FdrTable, FfCampaignResult};
 pub use sampling::{required_sample_size, sample_injection_times, wilson_interval};

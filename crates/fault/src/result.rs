@@ -36,11 +36,7 @@ impl FfCampaignResult {
 
     /// Injections classified as functional failures.
     pub fn failures(&self) -> usize {
-        FailureClass::ALL
-            .iter()
-            .filter(|c| c.is_failure())
-            .map(|c| self.class_counts[c.tally_index()])
-            .sum()
+        failures_in(&self.class_counts)
     }
 
     /// Tally for one class.
@@ -57,6 +53,18 @@ impl FfCampaignResult {
             self.failures() as f64 / n as f64
         }
     }
+}
+
+/// Failures in a per-class tally vector (indexed like
+/// [`FailureClass::ALL`]) — the single definition of which classes count
+/// as functional failures, shared with external tally accumulators such
+/// as the resumable campaign checkpoint.
+pub fn failures_in(class_counts: &[usize]) -> usize {
+    FailureClass::ALL
+        .iter()
+        .filter(|c| c.is_failure())
+        .map(|c| class_counts[c.tally_index()])
+        .sum()
 }
 
 /// Per-flip-flop FDR results of a (possibly partial) campaign.
@@ -287,11 +295,7 @@ mod tests {
 
     #[test]
     fn table_aggregation() {
-        let table = FdrTable::from_results(
-            3,
-            vec![result(0, 10, 0, 0), result(2, 0, 10, 0)],
-            10,
-        );
+        let table = FdrTable::from_results(3, vec![result(0, 10, 0, 0), result(2, 0, 10, 0)], 10);
         assert_eq!(table.num_ffs(), 3);
         assert_eq!(table.fdr(FfId::from_index(0)), Some(0.0));
         assert_eq!(table.fdr(FfId::from_index(1)), None);
@@ -328,11 +332,8 @@ mod tests {
 
     #[test]
     fn confidence_and_csv() {
-        let table = FdrTable::from_results(
-            2,
-            vec![result(0, 150, 15, 5), result(1, 170, 0, 0)],
-            170,
-        );
+        let table =
+            FdrTable::from_results(2, vec![result(0, 150, 15, 5), result(1, 170, 0, 0)], 170);
         let (lo, hi) = table.confidence(FfId::from_index(0)).unwrap();
         let p = 20.0 / 170.0;
         assert!(lo < p && p < hi);

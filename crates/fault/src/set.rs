@@ -136,9 +136,9 @@ where
                     let diff = state.diff_lanes(self.cc, self.golden.journal.state_at(next));
                     let newly = active & !diff & !converged;
                     if newly != 0 {
-                        for lane in 0..times.len() {
+                        for (lane, at) in converged_at.iter_mut().enumerate() {
                             if newly & (1u64 << lane) != 0 {
-                                converged_at[lane] = Some(next);
+                                *at = Some(next);
                             }
                         }
                         converged |= newly;

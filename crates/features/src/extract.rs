@@ -106,8 +106,14 @@ pub fn extract_structural(cc: &CompiledCircuit) -> FeatureMatrix {
     // Longest combinational path from each net (for comb_path_depth).
     let depth_from = longest_comb_path_from(cc);
 
-    let ff_names: Vec<String> = netlist.ffs().map(|(ff, _)| netlist.ff_name(ff).to_string()).collect();
-    let mut m = FeatureMatrix::zeros(ff_names, FEATURE_NAMES.iter().map(|s| s.to_string()).collect());
+    let ff_names: Vec<String> = netlist
+        .ffs()
+        .map(|(ff, _)| netlist.ff_name(ff).to_string())
+        .collect();
+    let mut m = FeatureMatrix::zeros(
+        ff_names,
+        FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+    );
 
     for i in 0..n {
         let ff = FfId::from_index(i);

@@ -58,10 +58,7 @@ pub(crate) fn check_training_set(x: &[Vec<f64>], y: &[f64]) {
     assert_eq!(x.len(), y.len(), "x/y length mismatch");
     let d = x[0].len();
     assert!(d > 0, "zero-dimensional features");
-    assert!(
-        x.iter().all(|r| r.len() == d),
-        "ragged feature matrix"
-    );
+    assert!(x.iter().all(|r| r.len() == d), "ragged feature matrix");
     assert!(
         x.iter().flatten().all(|v| v.is_finite()) && y.iter().all(|v| v.is_finite()),
         "non-finite values in training data"

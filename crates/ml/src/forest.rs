@@ -142,7 +142,10 @@ mod tests {
         }
         let mut c = RandomForestRegressor::new(10, 6, 8);
         c.fit(&x, &y);
-        let differs = x.iter().take(20).any(|q| a.predict_one(q) != c.predict_one(q));
+        let differs = x
+            .iter()
+            .take(20)
+            .any(|q| a.predict_one(q) != c.predict_one(q));
         assert!(differs, "different seeds must differ somewhere");
     }
 

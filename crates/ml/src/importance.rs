@@ -49,8 +49,7 @@ pub fn permutation_importance<M: Regressor + ?Sized>(
     for col in 0..d {
         let mut drops = Vec::with_capacity(repeats);
         for rep in 0..repeats {
-            let mut rng =
-                ChaCha8Rng::seed_from_u64(seed ^ ((col as u64) << 24) ^ rep as u64);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ ((col as u64) << 24) ^ rep as u64);
             let mut perm: Vec<usize> = (0..x.len()).collect();
             perm.shuffle(&mut rng);
             let shuffled: Vec<Vec<f64>> = x
@@ -103,8 +102,16 @@ mod tests {
         let mut m = DecisionTreeRegressor::new(8, 2, 1);
         m.fit(&x, &y);
         let imp = permutation_importance(&m, &x, &y, 5, 42);
-        assert!(imp[0].mean_drop > 0.5, "signal column drop {}", imp[0].mean_drop);
-        assert!(imp[1].mean_drop < 0.1, "noise column drop {}", imp[1].mean_drop);
+        assert!(
+            imp[0].mean_drop > 0.5,
+            "signal column drop {}",
+            imp[0].mean_drop
+        );
+        assert!(
+            imp[1].mean_drop < 0.1,
+            "noise column drop {}",
+            imp[1].mean_drop
+        );
         assert!(imp[2].mean_drop < 0.1);
         let order = ranked(imp);
         assert_eq!(order[0].column, 0);

@@ -351,7 +351,11 @@ mod tests {
             .map(|_| (0..5).map(|_| rng.gen_range(-10.0..10.0)).collect())
             .collect();
         let tree = KdTree::build(&points);
-        for metric in [Distance::Manhattan, Distance::Euclidean, Distance::Chebyshev] {
+        for metric in [
+            Distance::Manhattan,
+            Distance::Euclidean,
+            Distance::Chebyshev,
+        ] {
             for _ in 0..50 {
                 let q: Vec<f64> = (0..5).map(|_| rng.gen_range(-12.0..12.0)).collect();
                 let got = tree.k_nearest(&q, 7, metric, &points);

@@ -22,8 +22,8 @@
 
 mod boosting;
 mod estimator;
-pub mod importance;
 mod forest;
+pub mod importance;
 mod knn;
 mod linalg;
 mod linear;

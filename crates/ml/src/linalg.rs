@@ -1,6 +1,8 @@
 //! Minimal dense linear algebra: just enough for least squares and ridge
 //! regression, with no external dependencies.
 
+// Index-based loops mirror the textbook formulations of these kernels.
+#![allow(clippy::needless_range_loop)]
 use std::fmt;
 
 /// A dense row-major matrix of `f64`.
@@ -82,13 +84,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols);
         (0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
             .collect()
     }
 
@@ -319,9 +315,7 @@ mod tests {
     fn rank_deficient_falls_back_gracefully() {
         // Second column is a copy of the first: infinitely many solutions;
         // the regularized fallback must return a finite one.
-        let rows: Vec<Vec<f64>> = (0..10)
-            .map(|i| vec![i as f64, i as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
         let y: Vec<f64> = (0..10).map(|i| 4.0 * i as f64).collect();
         let a = Matrix::from_rows(&rows);
         let x = a.solve_least_squares(&y);

@@ -61,7 +61,11 @@ impl Regressor for LinearRegression {
     }
 
     fn predict_one(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.weights.len(), "model/input dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.weights.len(),
+            "model/input dimension mismatch"
+        );
         self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.intercept
     }
 }
@@ -109,7 +113,9 @@ impl Regressor for RidgeRegression {
         let n = x.len() as f64;
         let d = x[0].len();
         // Center targets and features so the intercept is unpenalised.
-        let x_mean: Vec<f64> = (0..d).map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n).collect();
+        let x_mean: Vec<f64> = (0..d)
+            .map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n)
+            .collect();
         let y_mean = y.iter().sum::<f64>() / n;
         let centered: Vec<Vec<f64>> = x
             .iter()
@@ -137,7 +143,11 @@ impl Regressor for RidgeRegression {
     }
 
     fn predict_one(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.weights.len(), "model/input dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.weights.len(),
+            "model/input dimension mismatch"
+        );
         self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.intercept
     }
 }

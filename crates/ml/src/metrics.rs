@@ -11,11 +11,7 @@
 /// Panics if the slices differ in length or are empty.
 pub fn mae(y: &[f64], y_hat: &[f64]) -> f64 {
     check(y, y_hat);
-    y.iter()
-        .zip(y_hat)
-        .map(|(t, p)| (t - p).abs())
-        .sum::<f64>()
-        / y.len() as f64
+    y.iter().zip(y_hat).map(|(t, p)| (t - p).abs()).sum::<f64>() / y.len() as f64
 }
 
 /// Maximum Absolute Error (eq. 2); closer to zero is better.

@@ -1,6 +1,8 @@
 //! Multi-layer perceptron regression (the paper's future-work "Multi-Layer
 //! Perception Neural Network").
 
+// Index-based loops mirror the textbook formulations of these kernels.
+#![allow(clippy::needless_range_loop)]
 use crate::estimator::{check_training_set, Regressor};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -222,8 +224,8 @@ mod tests {
     fn learns_nonlinear_function() {
         let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 40.0 - 1.0]).collect();
         let y: Vec<f64> = x.iter().map(|r| (3.0 * r[0]).sin()).collect();
-        let mut m = MlpRegressor::new(vec![16, 16], Activation::Tanh, 800, 3)
-            .with_learning_rate(0.02);
+        let mut m =
+            MlpRegressor::new(vec![16, 16], Activation::Tanh, 800, 3).with_learning_rate(0.02);
         m.fit(&x, &y);
         let score = r2(&y, &m.predict(&x));
         assert!(score > 0.95, "r2 = {score}");

@@ -223,8 +223,7 @@ pub fn learning_curve<M: Regressor>(
         for (fold_i, (train, test)) in folds.iter().enumerate() {
             let keep = ((train.len() as f64) * fraction).round().max(2.0) as usize;
             let keep = keep.min(train.len());
-            let mut rng =
-                ChaCha8Rng::seed_from_u64(seed ^ (fi as u64) << 32 ^ fold_i as u64);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (fi as u64) << 32 ^ fold_i as u64);
             let mut subset = train.clone();
             subset.shuffle(&mut rng);
             subset.truncate(keep);
@@ -279,7 +278,7 @@ pub fn grid_search<P: Clone, M: Regressor>(
     for (i, p) in params.iter().enumerate() {
         let cv = cross_validate(|| factory(p), x, y, folds);
         let scores = cv.mean_test();
-        if best.as_ref().map_or(true, |(_, b)| scores.r2 > b.r2) {
+        if best.as_ref().is_none_or(|(_, b)| scores.r2 > b.r2) {
             best = Some((i, scores));
         }
         evaluated.push((p.clone(), scores));
@@ -320,7 +319,9 @@ mod tests {
     use crate::linear::LinearRegression;
 
     fn linear_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![(i % 17) as f64, (i % 5) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 17) as f64, (i % 5) as f64])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] - 2.0 * r[1] + 1.0).collect();
         (x, y)
     }
@@ -352,9 +353,7 @@ mod tests {
     #[test]
     fn stratified_folds_balance_target_range() {
         // Bimodal target, mimicking FDR distributions.
-        let y: Vec<f64> = (0..100)
-            .map(|i| if i < 50 { 0.02 } else { 0.9 })
-            .collect();
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 0.02 } else { 0.9 }).collect();
         let folds = StratifiedKFold::new(10, 3).split(&y);
         for (_, test) in &folds {
             let high = test.iter().filter(|&&i| y[i] > 0.5).count();

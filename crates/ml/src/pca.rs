@@ -62,8 +62,10 @@ impl Pca {
             .iter()
             .map(|&k| (0..d).map(|i| eigvecs.get(i, k)).collect())
             .collect();
-        let explained_variance: Vec<f64> =
-            order[..n_components].iter().map(|&k| eigvals[k].max(0.0)).collect();
+        let explained_variance: Vec<f64> = order[..n_components]
+            .iter()
+            .map(|&k| eigvals[k].max(0.0))
+            .collect();
         Pca {
             mean,
             components,
@@ -188,6 +190,13 @@ fn jacobi_eigen(a: &Matrix) -> (Vec<f64>, Matrix) {
     (eig, v)
 }
 
+impl Pca {
+    /// The retained component vectors (unit length, decreasing variance).
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,12 +268,5 @@ mod tests {
     fn too_many_components_panics() {
         let x = vec![vec![1.0, 2.0]];
         let _ = Pca::fit(&x, 3);
-    }
-}
-
-impl Pca {
-    /// The retained component vectors (unit length, decreasing variance).
-    pub fn components(&self) -> &[Vec<f64>] {
-        &self.components
     }
 }

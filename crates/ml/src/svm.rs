@@ -9,6 +9,8 @@
 //! The paper's tuned model (`C = 3.5`, RBF `γ = 0.055`, `ε = 0.025`) is
 //! available as [`SvrRegressor::paper_tuned`].
 
+// Index-based loops mirror the textbook formulations of these kernels.
+#![allow(clippy::needless_range_loop)]
 use crate::estimator::{check_training_set, Regressor};
 
 /// Kernel functions for [`SvrRegressor`].
@@ -145,7 +147,13 @@ impl Regressor for SvrRegressor {
             let sb = if b < n { 1.0 } else { -1.0 };
             sa * sb * kmat[(a % n) * n + (b % n)]
         };
-        let sign = |a: usize| -> f64 { if a < n { 1.0 } else { -1.0 } };
+        let sign = |a: usize| -> f64 {
+            if a < n {
+                1.0
+            } else {
+                -1.0
+            }
+        };
 
         let mut alpha = vec![0.0f64; m];
         // Gradient of the dual objective; at alpha = 0 it equals p.

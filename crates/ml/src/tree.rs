@@ -169,7 +169,7 @@ fn best_split(
             let sse_right = (total_sq - sq_left) - sum_right * sum_right / nr;
             let sse = sse_left + sse_right;
             let threshold = 0.5 * (x[order[cut - 1]][f] + x[order[cut]][f]);
-            if best.map_or(true, |(_, _, b)| sse < b) {
+            if best.is_none_or(|(_, _, b)| sse < b) {
                 best = Some((f, threshold, sse));
             }
         }

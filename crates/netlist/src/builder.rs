@@ -191,7 +191,10 @@ impl NetlistBuilder {
     ///
     /// Panics if `width` is 0 or greater than 64, or if `value` does not fit.
     pub fn lit(&mut self, width: usize, value: u64) -> Bus {
-        assert!(width > 0 && width <= 64, "literal width {width} out of range");
+        assert!(
+            width > 0 && width <= 64,
+            "literal width {width} out of range"
+        );
         if width < 64 {
             assert!(
                 value < (1u64 << width),
@@ -586,7 +589,10 @@ impl NetlistBuilder {
     /// Panics if `width` is 0 or greater than 64, the register name is
     /// duplicated, or `init` does not fit.
     pub fn reg_init(&mut self, name: &str, width: usize, init: u64) -> RegHandle {
-        assert!(width > 0 && width <= 64, "register width {width} out of range");
+        assert!(
+            width > 0 && width <= 64,
+            "register width {width} out of range"
+        );
         if width < 64 {
             assert!(
                 init < (1u64 << width),
@@ -700,9 +706,12 @@ impl NetlistBuilder {
         let mut buses = Vec::new();
         let regs = std::mem::take(&mut self.regs);
         for info in &regs {
-            let d = info.d.as_ref().ok_or_else(|| NetlistError::RegisterUnconnected {
-                name: info.name.clone(),
-            })?;
+            let d = info
+                .d
+                .as_ref()
+                .ok_or_else(|| NetlistError::RegisterUnconnected {
+                    name: info.name.clone(),
+                })?;
             let mut members = Vec::with_capacity(info.q.width());
             for i in 0..info.q.width() {
                 let cell_id = CellId::from_index(self.cells.len());

@@ -182,9 +182,12 @@ impl fmt::Display for CellKind {
 /// [`NetlistBuilder::finish`](crate::NetlistBuilder::finish); the value is
 /// consumed by the feature extractor as the paper's *Flip-Flop Drive
 /// Strength* synthesis feature.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum DriveStrength {
     /// Unit drive (`_X1`).
+    #[default]
     X1,
     /// Double drive (`_X2`).
     X2,
@@ -234,12 +237,6 @@ impl DriveStrength {
 impl fmt::Display for DriveStrength {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "X{}", self.multiplier())
-    }
-}
-
-impl Default for DriveStrength {
-    fn default() -> Self {
-        DriveStrength::X1
     }
 }
 

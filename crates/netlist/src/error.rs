@@ -85,7 +85,11 @@ impl fmt::Display for NetlistError {
                 write!(f, "parse error at line {line}: {message}")
             }
             NetlistError::CombinationalCycle { cells } => {
-                write!(f, "combinational cycle through cells: {}", cells.join(" -> "))
+                write!(
+                    f,
+                    "combinational cycle through cells: {}",
+                    cells.join(" -> ")
+                )
             }
         }
     }
@@ -112,9 +116,8 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error + Send + Sync> = Box::new(NetlistError::DuplicateName {
-            name: "clk".into(),
-        });
+        let e: Box<dyn std::error::Error + Send + Sync> =
+            Box::new(NetlistError::DuplicateName { name: "clk".into() });
         assert!(e.to_string().contains("clk"));
     }
 }

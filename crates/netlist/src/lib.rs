@@ -51,8 +51,8 @@ pub mod verilog;
 
 mod builder;
 
-pub use bus::Bus;
 pub use builder::{NetlistBuilder, RegHandle};
+pub use bus::Bus;
 pub use cell::{CellKind, DriveStrength};
 pub use error::NetlistError;
 pub use netlist::{BusInfo, Cell, CellId, FfId, Net, NetId, Netlist};

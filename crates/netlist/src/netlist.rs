@@ -251,10 +251,7 @@ impl Netlist {
     /// `FfId` of a sequential cell, if the cell is a flip-flop.
     pub fn ff_of_cell(&self, cell: CellId) -> Option<FfId> {
         // ffs is sorted by construction (cells are appended in order).
-        self.ffs
-            .binary_search(&cell)
-            .ok()
-            .map(FfId::from_index)
+        self.ffs.binary_search(&cell).ok().map(FfId::from_index)
     }
 
     /// Data-input net of a flip-flop.

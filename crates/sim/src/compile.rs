@@ -114,11 +114,7 @@ impl CompiledCircuit {
                 c: get(2),
                 out: cell.output().index() as u32,
             });
-            let lvl = 1 + ins
-                .iter()
-                .map(|&n| levels[n.index()])
-                .max()
-                .unwrap_or(0);
+            let lvl = 1 + ins.iter().map(|&n| levels[n.index()]).max().unwrap_or(0);
             levels[cell.output().index()] = lvl;
             max_level = max_level.max(lvl);
             // Release readers.
@@ -262,7 +258,8 @@ mod tests {
             }
         }
         // Display is informative.
-        let src_ok = "module m (a, o);\n  input a;\n  output o;\n  BUF_X1 u (.A(a), .Z(o));\nendmodule\n";
+        let src_ok =
+            "module m (a, o);\n  input a;\n  output o;\n  BUF_X1 u (.A(a), .Z(o));\nendmodule\n";
         let n2 = ffr_netlist::verilog::parse(src_ok).unwrap();
         assert!(CompiledCircuit::compile(n2).is_ok());
     }

@@ -165,7 +165,7 @@ impl SimState {
         let mut diff = 0u64;
         for (i, &q) in cc.ff_q.iter().enumerate() {
             let bit = (packed[i / 64] >> (i % 64)) & 1;
-            let golden = (bit as u64).wrapping_neg(); // 0 -> 0x0, 1 -> all ones
+            let golden = bit.wrapping_neg(); // 0 -> 0x0, 1 -> all ones
             diff |= self.values[q as usize] ^ golden;
         }
         diff

@@ -12,13 +12,14 @@ use crate::activity::ActivityTrace;
 use crate::compile::CompiledCircuit;
 use crate::engine::SimState;
 use crate::testbench::{InputFrame, OutputTrace, Stimulus, WatchList};
+use serde::{Deserialize, Serialize};
 
 /// Packed lane-0 flip-flop state for every cycle of a run.
 ///
 /// Entry `c` is the state *entering* cycle `c` (i.e. before the inputs of
 /// cycle `c` are applied), so restoring entry `c` and replaying the stimulus
 /// from cycle `c` reproduces the run exactly.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StateJournal {
     words_per_cycle: usize,
     cycles: u64,
@@ -66,7 +67,7 @@ impl StateJournal {
 
 /// Legacy alias kept for API compatibility: a journal entry used as an
 /// explicit checkpoint.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Cycle the state belongs to.
     pub cycle: u64,
@@ -75,7 +76,7 @@ pub struct Checkpoint {
 }
 
 /// All artifacts of the golden (fault-free) reference run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GoldenRun {
     /// Watched-output recording of the fault-free run.
     pub trace: OutputTrace,
@@ -144,7 +145,7 @@ mod tests {
         }
 
         fn drive(&self, cycle: u64, frame: &mut InputFrame) {
-            frame.set(0, cycle % 3 != 0);
+            frame.set(0, !cycle.is_multiple_of(3));
         }
     }
 

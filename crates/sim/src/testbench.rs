@@ -4,6 +4,7 @@
 use crate::activity::ActivityTrace;
 use crate::compile::CompiledCircuit;
 use crate::engine::SimState;
+use serde::{Deserialize, Serialize};
 
 /// One cycle's worth of primary-input values (a 64-lane word per input).
 ///
@@ -166,7 +167,7 @@ impl WatchList {
 }
 
 /// Recorded values of the watched outputs over a cycle range, all 64 lanes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OutputTrace {
     start: u64,
     end: u64,
@@ -379,7 +380,7 @@ mod tests {
         }
 
         fn drive(&self, cycle: u64, frame: &mut InputFrame) {
-            frame.set(0, cycle % 4 == 0);
+            frame.set(0, cycle.is_multiple_of(4));
         }
     }
 

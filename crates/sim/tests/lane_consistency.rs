@@ -32,7 +32,11 @@ struct Reference {
 
 impl Reference {
     fn new(width: usize) -> Reference {
-        Reference { width, r1: 0, r2: 0 }
+        Reference {
+            width,
+            r1: 0,
+            r2: 0,
+        }
     }
 
     /// Returns (sum_out, parity, carry) for the current inputs, then
@@ -80,17 +84,17 @@ proptest! {
                 let a = (*rng >> 17) & ((1u64 << width) - 1);
                 let en = (*rng >> 33) & 1 == 1;
                 lane_inputs.push((a, en));
-                for bit in 0..width {
+                for (bit, word) in a_bits.iter_mut().enumerate() {
                     if (a >> bit) & 1 == 1 {
-                        a_bits[bit] |= 1u64 << lanes[li];
+                        *word |= 1u64 << lanes[li];
                     }
                 }
                 if en {
                     en_word |= 1u64 << lanes[li];
                 }
             }
-            for bit in 0..width {
-                state.set_input_lanes(&cc, bit, a_bits[bit]);
+            for (bit, &word) in a_bits.iter().enumerate() {
+                state.set_input_lanes(&cc, bit, word);
             }
             state.set_input_lanes(&cc, width, en_word);
             state.eval(&cc);
@@ -137,7 +141,7 @@ proptest! {
         let mut b = SimState::new(&cc);
         for cyc in 0..10u64 {
             for bit in 0..width {
-                let v = (cyc * 7 + bit as u64) % 3 == 0;
+                let v = (cyc * 7 + bit as u64).is_multiple_of(3);
                 a.set_input(&cc, bit, v);
                 b.set_input(&cc, bit, v);
             }

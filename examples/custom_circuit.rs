@@ -78,7 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Feature extraction (the paper's 25 columns) as CSV.
     let run = run_testbench(&cc, &Feed, &watch);
     let features = extract_features(&cc, &run.activity);
-    println!("\nfeature matrix: {} x {}; CSV head:", features.num_rows(), features.num_cols());
+    println!(
+        "\nfeature matrix: {} x {}; CSV head:",
+        features.num_rows(),
+        features.num_cols()
+    );
     for line in features.to_csv().lines().take(4) {
         println!("  {line}");
     }

@@ -1,11 +1,16 @@
-//! The paper's §IV-A campaign on the 10GE-MAC-like design, at example
-//! scale: inject SEUs into every flip-flop of the (small) MAC and report
-//! the most and least vulnerable registers plus the failure-class mix.
+//! The paper's §IV-A campaign on the 10GE-MAC-like design, run through
+//! the durable campaign orchestration of `ffr-campaign`: adaptive
+//! Wilson-CI early stopping, periodic checkpoints, and bit-identical
+//! resume after an (simulated) interruption.
 //!
 //! Run: `cargo run --release --example mac_fault_campaign`
 
+use ffr_campaign::{
+    run_resumable, AdaptivePolicy, CampaignCheckpoint, CancelToken, CheckpointParams, RunOutcome,
+    RunnerOptions,
+};
 use ffr_circuits::{Mac10geConfig, MacJudge, MacTestbench, TrafficConfig};
-use ffr_fault::{Campaign, CampaignConfig, FailureClass};
+use ffr_fault::{Campaign, FailureClass};
 use ffr_sim::GoldenRun;
 
 fn main() {
@@ -23,12 +28,70 @@ fn main() {
         "golden run receives {} packets intact",
         judge.golden_packets().len()
     );
+    let campaign = Campaign::with_golden(&cc, &tb, &watch, &judge, golden);
 
-    let campaign = Campaign::new(&cc, &tb, &watch, &judge);
-    let config = CampaignConfig::new(tb.injection_window())
-        .with_injections(40)
-        .with_seed(7);
-    let table = campaign.run_parallel(&config);
+    // Adaptive policy: 40–120 injections per flip-flop, retiring each one
+    // as soon as its 95 % Wilson interval half-width reaches 0.08.
+    let window = tb.injection_window();
+    let mut checkpoint = CampaignCheckpoint::fresh(
+        "example".into(),
+        CheckpointParams {
+            seed: 7,
+            window_start: window.start,
+            window_end: window.end,
+            policy: AdaptivePolicy::adaptive(40, 120, 0.08),
+        },
+        cc.num_ffs(),
+    );
+    let checkpoint_path = std::env::temp_dir().join("mac_fault_campaign.checkpoint.json");
+
+    // First leg: stop (resumably) after half the flip-flops, as if the
+    // process had been killed mid-campaign.
+    let outcome = run_resumable(
+        &campaign,
+        &mut checkpoint,
+        &RunnerOptions {
+            stop_after_ffs: Some(cc.num_ffs() / 2),
+            ..RunnerOptions::default()
+        },
+        &CancelToken::new(),
+        |cp| cp.save(&checkpoint_path),
+        |_, _| {},
+    )
+    .expect("checkpoint directory is writable");
+    assert_eq!(outcome, RunOutcome::Cancelled);
+    println!(
+        "\ninterrupted after {}/{} flip-flops ({} injections so far) — resuming from {}",
+        checkpoint.completed_ffs(),
+        checkpoint.num_ffs,
+        checkpoint.total_injections(),
+        checkpoint_path.display()
+    );
+
+    // Second leg: reload the checkpoint from disk (as `ffr resume` would)
+    // and drive the campaign to completion.
+    let mut checkpoint =
+        CampaignCheckpoint::load(&checkpoint_path).expect("checkpoint written by first leg");
+    let outcome = run_resumable(
+        &campaign,
+        &mut checkpoint,
+        &RunnerOptions::default(),
+        &CancelToken::new(),
+        |cp| cp.save(&checkpoint_path),
+        |done, total| {
+            if done % 50 == 0 || done == total {
+                eprintln!("  {done}/{total} flip-flops retired");
+            }
+        },
+    )
+    .expect("checkpoint directory is writable");
+    assert_eq!(outcome, RunOutcome::Complete);
+    let table = checkpoint.to_fdr_table();
+    println!(
+        "campaign complete: {} injections (fixed-120 budget would have been {})",
+        checkpoint.total_injections(),
+        cc.num_ffs() * 120
+    );
 
     // Rank flip-flops by FDR.
     let mut ranked: Vec<(usize, f64)> = (0..cc.num_ffs())
@@ -63,4 +126,6 @@ fn main() {
     println!("\ncircuit FDR = {:.4}", table.circuit_fdr());
     println!("\nFDR histogram:");
     print!("{}", table.histogram(10));
+
+    let _ = std::fs::remove_file(&checkpoint_path);
 }

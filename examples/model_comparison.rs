@@ -15,7 +15,10 @@ fn main() {
     let golden = GoldenRun::capture(&cc, &tb, &watch);
     let judge = MacJudge::new(extractor, &golden);
 
-    eprintln!("collecting reference dataset ({} FFs x 40 injections)...", cc.num_ffs());
+    eprintln!(
+        "collecting reference dataset ({} FFs x 40 injections)...",
+        cc.num_ffs()
+    );
     let config = CampaignConfig::new(tb.injection_window())
         .with_injections(40)
         .with_seed(3);

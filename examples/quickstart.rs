@@ -49,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let watch = WatchList::all(&cc);
     let judge = OutputMismatchJudge::new();
     let campaign = Campaign::new(&cc, &AlwaysOn, &watch, &judge);
-    let config = CampaignConfig::new(10..180).with_injections(60).with_seed(1);
+    let config = CampaignConfig::new(10..180)
+        .with_injections(60)
+        .with_seed(1);
     let table = campaign.run_parallel(&config);
 
     println!("\nper-flip-flop Functional De-Rating:");

@@ -11,8 +11,11 @@
 //! * [`ffr_fault`] — statistical SEU fault-injection engine,
 //! * [`ffr_features`] — per-flip-flop feature extraction,
 //! * [`ffr_ml`] — from-scratch supervised regression library,
-//! * [`ffr_core`] — the DSN 2019 estimation methodology.
+//! * [`ffr_core`] — the DSN 2019 estimation methodology,
+//! * [`ffr_campaign`] — checkpointed, resumable, adaptively-sampled
+//!   campaign orchestration, the on-disk artifact store and the `ffr` CLI.
 
+pub use ffr_campaign as campaign;
 pub use ffr_circuits as circuits;
 pub use ffr_core as core;
 pub use ffr_fault as fault;

@@ -21,7 +21,9 @@ fn small_dataset(injections: usize, seed: u64) -> (ReferenceDataset, std::ops::R
 
 #[test]
 fn nonlinear_models_beat_linear_on_real_fault_data() {
-    let (ds, _) = small_dataset(16, 1);
+    // 24 injections per FF: enough resolution in the reference FDR values
+    // for the model-quality gap to clear the asserted margin reliably.
+    let (ds, _) = small_dataset(24, 1);
     let cmp = compare_models(
         &[ModelKind::LinearLeastSquares, ModelKind::Knn],
         &ds,
@@ -37,7 +39,11 @@ fn nonlinear_models_beat_linear_on_real_fault_data() {
         knn.r2,
         lin.r2
     );
-    assert!(knn.r2 > 0.5, "knn should be usefully predictive: {}", knn.r2);
+    assert!(
+        knn.r2 > 0.5,
+        "knn should be usefully predictive: {}",
+        knn.r2
+    );
     assert!(knn.mae < lin.mae, "knn should also win on MAE");
 }
 

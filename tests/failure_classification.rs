@@ -49,7 +49,10 @@ fn untouched_trace_is_benign() {
     let faulty = clone_trace(&s.golden.trace);
     let g = LaneView::golden(&s.golden.trace);
     let f = LaneView::faulty(&s.golden.trace, &faulty, 0, None);
-    assert_eq!(s.judge.classify(&g, &f, s.inject_cycle), FailureClass::Benign);
+    assert_eq!(
+        s.judge.classify(&g, &f, s.inject_cycle),
+        FailureClass::Benign
+    );
 }
 
 #[test]

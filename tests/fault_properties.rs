@@ -152,8 +152,7 @@ fn set_derating_never_exceeds_seu_on_latch_input() {
     let next = b.inc(&r.q());
     b.connect_en(&r, &en, &next).unwrap();
     b.output("v", &r.q());
-    let d_net = b
-        .gate(ffr_netlist::CellKind::Buf, &[next.net(0)]);
+    let d_net = b.gate(ffr_netlist::CellKind::Buf, &[next.net(0)]);
     let buf_bus = ffr_netlist::Bus::single(d_net);
     b.output("probe", &buf_bus);
     let cc = CompiledCircuit::compile(b.finish().unwrap()).unwrap();

@@ -1,0 +1,182 @@
+//! Minimal in-repo substitute for `rayon`: `par_iter().map(..).collect()`
+//! over slices, executed on scoped OS threads with an atomic work cursor.
+//!
+//! Only the surface the workspace uses is provided. Work distribution is
+//! dynamic (each thread pops the next index), so uneven per-item cost —
+//! the norm for fault-injection batches with early convergence exit —
+//! still load-balances, which is the property the campaign engine
+//! actually wants from rayon.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Borrowing conversion into a parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type yielded by the parallel iterator.
+    type Item: 'data;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator over `&self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item;
+
+    /// Map every item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        ParMap { inner: self, f }
+    }
+
+    /// Collect the items into a container.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C
+    where
+        Self::Item: Send,
+        Self: IndexedParallel,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Internal: parallel sources that can be evaluated by index.
+pub trait IndexedParallel: ParallelIterator + Sync {
+    /// Number of items.
+    fn par_len(&self) -> usize;
+    /// Produce item `i`.
+    fn par_get(&self, i: usize) -> Self::Item;
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParIter<'data, T> {
+    type Item = &'data T;
+}
+
+impl<'data, T: Sync> IndexedParallel for ParIter<'data, T> {
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn par_get(&self, i: usize) -> &'data T {
+        &self.items[i]
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for ParMap<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+}
+
+impl<I, F, R> IndexedParallel for ParMap<I, F>
+where
+    I: IndexedParallel + Sync,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn par_get(&self, i: usize) -> R {
+        (self.f)(self.inner.par_get(i))
+    }
+}
+
+/// Containers a parallel iterator can collect into.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Evaluate the iterator in parallel and gather the results.
+    fn from_par_iter<I: IndexedParallel<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: IndexedParallel<Item = T>>(iter: I) -> Vec<T> {
+        let n = iter.par_len();
+        let threads = current_num_threads().min(n.max(1));
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = iter.par_get(i);
+                    results.lock().expect("results poisoned").push((i, item));
+                });
+            }
+        });
+        let mut results = results.into_inner().expect("results poisoned");
+        results.sort_by_key(|&(i, _)| i);
+        results.into_iter().map(|(_, item)| item).collect()
+    }
+}
+
+/// `rayon::prelude`-style glob import support.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u64> = Vec::new();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+}

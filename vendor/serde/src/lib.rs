@@ -1,0 +1,340 @@
+//! Minimal in-repo substitute for the `serde` crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the small slice of serde it actually uses: a
+//! self-describing value tree ([`Value`]), [`Serialize`] / [`Deserialize`]
+//! traits that convert to and from that tree, and derive macros for plain
+//! structs and fieldless enums (re-exported from `serde_derive`).
+//!
+//! The design intentionally trades serde's zero-copy streaming model for a
+//! tiny, dependency-free implementation; every serialization goes through
+//! an owned [`Value`]. Object keys keep insertion order, which makes the
+//! JSON emitted by `serde_json` deterministic — a property the artifact
+//! store relies on for byte-identical cache hits.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree of deserialized data (the subset of the JSON
+/// data model the workspace needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array value.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Error {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    ref other => {
+                        return Err(Error::msg(format!(
+                            "expected unsigned integer, got {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => {
+                        i64::try_from(n).map_err(|_| Error::msg("integer out of range"))?
+                    }
+                    Value::F64(f) if f.fract() == 0.0 => f as i64,
+                    ref other => {
+                        return Err(Error::msg(format!(
+                            "expected integer, got {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    ref other => Err(Error::msg(format!(
+                        "expected number, got {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!(
+                "expected bool, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!(
+                "expected string, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(Deserialize::from_value).collect(),
+            other => Err(Error::msg(format!(
+                "expected array, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| Error::msg("expected tuple array"))?;
+                Ok(($($name::from_value(
+                    items.get($idx).ok_or_else(|| Error::msg("tuple too short"))?,
+                )?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive macros
+// ---------------------------------------------------------------------------
+
+/// Deserialize a named field of an object value (derive-macro helper).
+pub fn de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    let field = v
+        .get(name)
+        .ok_or_else(|| Error::msg(format!("missing field `{name}`")))?;
+    T::from_value(field).map_err(|e| Error::msg(format!("field `{name}`: {}", e.0)))
+}
+
+/// Deserialize the `i`-th element of an array value (derive-macro helper).
+pub fn de_index<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| Error::msg(format!("expected array, got {}", v.type_name())))?;
+    let item = items
+        .get(i)
+        .ok_or_else(|| Error::msg(format!("missing tuple element {i}")))?;
+    T::from_value(item)
+}

@@ -1,0 +1,252 @@
+//! Derive macros for the in-repo `serde` substitute.
+//!
+//! Supports the shapes the workspace actually derives:
+//!
+//! * structs with named fields → JSON objects with insertion-ordered keys,
+//! * newtype structs (`struct Id(u32)`) → transparent (the inner value),
+//! * tuple structs with 2+ fields → arrays,
+//! * enums whose variants are all fieldless → variant-name strings.
+//!
+//! The macros are written against `proc_macro` alone (no `syn`/`quote`,
+//! which are unavailable offline): the input item is tokenized by hand and
+//! the impl is assembled as a string, then re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Strip leading attributes (`#[...]`) and a visibility qualifier
+/// (`pub`, `pub(crate)`, ...) from the token slice.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
+    loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                pos += 1; // '#'
+                if matches!(tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    pos += 1;
+                }
+            }
+            Some(tt) if is_ident(tt, "pub") => {
+                pos += 1;
+                if matches!(tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    pos += 1;
+                }
+            }
+            _ => return pos,
+        }
+    }
+}
+
+/// Split a field/variant list on top-level commas. Commas inside groups are
+/// invisible (groups are atomic tokens); commas inside generic argument
+/// lists are skipped by tracking `<`/`>` depth.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("cannot derive for generic type `{name}`"));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for part in split_top_level(&body) {
+                    let p = skip_attrs_and_vis(&part, 0);
+                    match part.get(p) {
+                        Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+                        None => {}
+                        other => return Err(format!("expected field name, got {other:?}")),
+                    }
+                }
+                Ok(Input {
+                    name,
+                    shape: Shape::Named(fields),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let n = split_top_level(&body)
+                    .into_iter()
+                    .filter(|p| !p.is_empty())
+                    .count();
+                Ok(Input {
+                    name,
+                    shape: Shape::Tuple(n),
+                })
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for part in split_top_level(&body) {
+                    let p = skip_attrs_and_vis(&part, 0);
+                    match part.get(p) {
+                        Some(TokenTree::Ident(i)) => {
+                            if part.get(p + 1).is_some() {
+                                return Err(format!(
+                                    "enum `{name}`: only fieldless variants are supported"
+                                ));
+                            }
+                            variants.push(i.to_string());
+                        }
+                        None => {}
+                        other => return Err(format!("expected variant name, got {other:?}")),
+                    }
+                }
+                Ok(Input {
+                    name,
+                    shape: Shape::UnitEnum(variants),
+                })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?}"))
+                .collect();
+            format!(
+                "::serde::Value::Str(match self {{ {} }}.to_string())",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(v, {f:?})?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de_index(v, {i})?"))
+                .collect();
+            format!("Ok({name}({}))", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v.as_str().ok_or_else(|| ::serde::Error::msg(\"expected variant string\"))? {{\n\
+                     {},\n\
+                     other => Err(::serde::Error::msg(format!(\"unknown variant `{{other}}`\")))\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<{name}, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

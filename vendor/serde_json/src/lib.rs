@@ -1,0 +1,378 @@
+//! Minimal in-repo substitute for `serde_json`: a JSON emitter and a
+//! recursive-descent parser over the vendored serde [`Value`] tree.
+//!
+//! Output is deterministic: object keys keep the order the `Serialize`
+//! impl produced them in, and numbers are printed with Rust's shortest
+//! round-trippable float formatting. The artifact store depends on this
+//! determinism for byte-identical cache artifacts.
+
+use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
+
+/// Serialize a value to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in this implementation; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Never fails in this implementation.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or on a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_complete(text)?;
+    T::from_value(&value)
+}
+
+/// Parse a JSON string into a raw [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or trailing garbage.
+pub fn parse_value_complete(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => write_f64(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let s = f.to_string();
+        out.push_str(&s);
+        // "1" would round-trip as an integer; keep the float marker.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no non-finite numbers; null is the least-bad encoding.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::msg(format!(
+            "expected `{}` at byte {}",
+            b as char, *pos
+        )))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::msg("unexpected end of input")),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error::msg(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::msg("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::msg("invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::msg("invalid \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::msg("invalid \\u code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::msg("invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 code point.
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0b1100_0000 == 0b1000_0000 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos])
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?,
+                );
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::msg("invalid number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::msg(format!("invalid number at byte {start}")));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+    } else if let Some(stripped) = text.strip_prefix('-') {
+        stripped
+            .parse::<u64>()
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+            .and_then(|n| {
+                i64::try_from(n)
+                    .map(|n| Value::I64(-n))
+                    .map_err(|_| Error::msg("integer out of range"))
+            })
+    } else {
+        text.parse::<u64>()
+            .map(Value::U64)
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        assert_eq!(from_str::<f64>("1.5e3").unwrap(), 1500.0);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn round_trip_collections() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u32>>>(&s).unwrap(), v);
+        let t: Vec<(String, usize)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let s = to_string_pretty(&t).unwrap();
+        assert_eq!(from_str::<Vec<(String, usize)>>(&s).unwrap(), t);
+    }
+
+    #[test]
+    fn float_markers_preserved() {
+        let s = to_string(&vec![1.0f64, 0.5]).unwrap();
+        assert_eq!(s, "[1.0,0.5]");
+        assert_eq!(from_str::<Vec<f64>>(&s).unwrap(), vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<u64>("\"x\"").is_err());
+        assert!(from_str::<Vec<u64>>("[1,").is_err());
+    }
+}
