@@ -1,0 +1,64 @@
+//! Criterion bench: forced (SET) vs plain combinational evaluation.
+//!
+//! `eval_forced` used to pay an `O(num_ops)` driver pre-scan plus an
+//! `out == target` branch in every op of every call; the compiled
+//! [`FaultSite`](ffr_sim::FaultSite) form splits the op list at the
+//! forced op instead, so forced evaluation should track plain `eval`
+//! closely. This bench pins that: `plain` is the floor, `forced_*` the
+//! SET-campaign inner loop on a deep net, a shallow net and a source
+//! (flip-flop Q) net.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffr_circuits::{Mac10ge, Mac10geConfig};
+use ffr_netlist::NetId;
+use ffr_sim::{CompiledCircuit, SimState};
+
+fn bench_forced_vs_plain(c: &mut Criterion) {
+    let mac = Mac10ge::build(Mac10geConfig::small());
+    let cc = CompiledCircuit::compile(mac.into_netlist()).unwrap();
+    let nets = cc.comb_output_nets();
+    // Deepest and shallowest gate-driven nets, plus a source net.
+    let deep = *nets
+        .iter()
+        .max_by_key(|&&n| cc.net_level(n))
+        .expect("MAC has combinational nets");
+    let shallow = *nets
+        .iter()
+        .min_by_key(|&&n| cc.net_level(n))
+        .expect("MAC has combinational nets");
+    let q_net = cc.netlist().ff_q_net(ffr_netlist::FfId::from_index(0));
+
+    let mut group = c.benchmark_group("forced_eval");
+    group.throughput(Throughput::Elements(cc.num_ops() as u64));
+
+    group.bench_function(BenchmarkId::from_parameter("plain"), |b| {
+        let mut state = SimState::new(&cc);
+        b.iter(|| {
+            state.eval(&cc);
+            state.tick(&cc);
+            std::hint::black_box(state.cycle())
+        });
+    });
+
+    let targets: [(&str, NetId); 3] = [
+        ("forced_deep_net", deep),
+        ("forced_shallow_net", shallow),
+        ("forced_q_net", q_net),
+    ];
+    for (name, net) in targets {
+        // Compiled once, like the campaign engine does per batch.
+        let site = cc.fault_site(net);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut state = SimState::new(&cc);
+            b.iter(|| {
+                state.eval_forced_site(&cc, site, 0xAAAA_5555_AAAA_5555);
+                state.tick(&cc);
+                std::hint::black_box(state.cycle())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forced_vs_plain);
+criterion_main!(benches);

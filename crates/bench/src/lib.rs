@@ -200,6 +200,65 @@ pub fn load_or_collect_dataset(scale: Scale) -> ReferenceDataset {
     ds
 }
 
+/// SET-campaign target nets for a setup: every combinational op output
+/// at paper scale, a deterministic 1-in-8 stratified subsample at quick
+/// scale (the SET universe is several times larger than the flip-flop
+/// one, and smoke runs only need the shape of the distribution).
+pub fn set_target_nets(scale: Scale, cc: &CompiledCircuit) -> Vec<ffr_netlist::NetId> {
+    let nets = cc.comb_output_nets();
+    match scale {
+        Scale::Paper => nets,
+        Scale::Quick => nets.into_iter().step_by(8).collect(),
+    }
+}
+
+/// Load the cached SET de-rating table for `scale`, or run the
+/// combinational-net transient campaign over [`set_target_nets`] and
+/// cache it in the artifact store.
+pub fn load_or_run_set_table(scale: Scale) -> ffr_fault::SetDeratingTable {
+    let store = artifact_store();
+    let setup = mac_setup(scale);
+    let key = StoreKey::of(
+        setup.cc.netlist(),
+        &format!(
+            "bench-set-table;scale={};traffic={:?};injections={};seed=2019",
+            scale.tag(),
+            scale.traffic(),
+            scale.injections_per_ff()
+        ),
+    );
+    if let Ok(Some(table)) = store.get::<ffr_fault::SetDeratingTable>(ArtifactKind::SetTable, &key)
+    {
+        eprintln!("[ffr-bench] SET table served from artifact store ({key})");
+        return table;
+    }
+    let golden = golden_run(&setup);
+    let judge = MacJudge::new(setup.extractor.clone(), &golden);
+    let campaign =
+        ffr_fault::Campaign::with_golden(&setup.cc, &setup.tb, &setup.watch, &judge, golden);
+    let config = CampaignConfig::new(setup.tb.injection_window())
+        .with_injections(scale.injections_per_ff())
+        .with_seed(2019);
+    let nets = set_target_nets(scale, &setup.cc);
+    eprintln!(
+        "[ffr-bench] running SET campaign: {} nets x {} injections...",
+        nets.len(),
+        config.injections_per_ff
+    );
+    let t0 = Instant::now();
+    let table = campaign.run_set_parallel(&nets, &config, |done, total| {
+        if done % 100 == 0 || done == total {
+            eprint!("\r[ffr-bench] {done}/{total} nets");
+            let _ = std::io::stderr().flush();
+        }
+    });
+    eprintln!("\n[ffr-bench] SET campaign done in {:.1?}", t0.elapsed());
+    if let Err(e) = store.put(ArtifactKind::SetTable, &key, &table) {
+        eprintln!("[ffr-bench] warning: failed to cache SET table: {e}");
+    }
+    table
+}
+
 /// The paper's learning-curve sweep (fractions of the whole dataset).
 pub const LEARNING_CURVE_FRACTIONS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
 

@@ -1,45 +1,52 @@
-//! Durable campaign progress: per-flip-flop tallies that can be saved
-//! mid-run and resumed bit-identically.
+//! Durable campaign progress: per-injection-point tallies that can be
+//! saved mid-run and resumed bit-identically.
 //!
 //! The unit of resumable work is a **64-injection chunk** of one
-//! flip-flop (one bit-parallel simulation batch). A flip-flop's injection
-//! plan is fully determined by `(seed, ff, window, max_injections)` via
-//! [`ffr_fault::sample_injection_times`], so the checkpoint does not need
-//! to persist RNG state — only how far into the plan each flip-flop got
-//! and the class tallies accumulated so far. Tallies of disjoint plan
-//! slices add, and the adaptive stopping rule is a pure function of the
-//! tallies, so a resumed campaign makes exactly the decisions an
-//! uninterrupted one would have made.
+//! [`InjectionPoint`] (one bit-parallel simulation batch) — a flip-flop
+//! for SEU campaigns, a combinational net for SET campaigns. A point's
+//! injection plan is fully determined by `(seed, point, window,
+//! max_injections)` via [`ffr_fault::sample_injection_times`] on
+//! [`InjectionPoint::stream`], so the checkpoint does not need to persist
+//! RNG state — only how far into the plan each point got and the class
+//! tallies accumulated so far. Tallies of disjoint plan slices add, and
+//! the adaptive stopping rule is a pure function of the tallies, so a
+//! resumed campaign makes exactly the decisions an uninterrupted one
+//! would have made.
 
 use crate::adaptive::AdaptivePolicy;
-use ffr_fault::{FailureClass, FdrTable, FfCampaignResult};
-use ffr_netlist::FfId;
+use ffr_fault::{
+    FailureClass, FaultKind, FdrTable, FfCampaignResult, InjectionPoint, NetSetResult,
+    SetDeratingTable,
+};
+use ffr_netlist::{FfId, NetId};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
 
-/// Checkpoint file format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Checkpoint file format version (2: fault-model-generic point records).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
-/// Progress of one flip-flop's injection plan.
+/// Progress of one injection point's plan.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FfProgress {
-    /// Flip-flop index.
-    pub ff: u32,
+pub struct PointProgress {
+    /// Raw index of the point within its fault model's id space
+    /// (flip-flop index for SEU, net index for SET) — see
+    /// [`InjectionPoint::raw_index`].
+    pub point: u32,
     /// Injections executed so far (a multiple of the chunk size except
     /// when the plan is exhausted).
     pub injections_done: usize,
     /// Per-class tallies so far, indexed like [`FailureClass::ALL`].
     pub counts: Vec<usize>,
-    /// `true` once the stopping rule has retired this flip-flop.
+    /// `true` once the stopping rule has retired this point.
     pub complete: bool,
 }
 
-impl FfProgress {
-    /// Fresh, empty progress for a flip-flop.
-    pub fn new(ff: FfId) -> FfProgress {
-        FfProgress {
-            ff: ff.index() as u32,
+impl PointProgress {
+    /// Fresh, empty progress for an injection point.
+    pub fn new(point: u32) -> PointProgress {
+        PointProgress {
+            point,
             injections_done: 0,
             counts: vec![0; FailureClass::ALL.len()],
             complete: false,
@@ -63,10 +70,13 @@ impl FfProgress {
 /// The campaign parameters a checkpoint binds to.
 ///
 /// Stored inside the checkpoint so `resume` can verify it is continuing
-/// the same campaign (same plan, same stopping rule) before trusting the
-/// tallies.
+/// the same campaign (same fault model, same plan, same stopping rule)
+/// before trusting the tallies.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointParams {
+    /// Fault model of the campaign ([`FaultKind::Seu`] targets every
+    /// flip-flop; [`FaultKind::Set`] targets combinational nets).
+    pub fault: FaultKind,
     /// Master campaign seed.
     pub seed: u64,
     /// Injection window start (inclusive).
@@ -87,65 +97,123 @@ pub struct CampaignCheckpoint {
     pub fingerprint: String,
     /// The campaign parameters.
     pub params: CheckpointParams,
-    /// Number of flip-flops in the circuit.
-    pub num_ffs: usize,
-    /// Per-flip-flop progress, indexed by flip-flop.
-    pub ffs: Vec<FfProgress>,
+    /// Number of targeted injection points.
+    pub num_points: usize,
+    /// Per-point progress.
+    pub points: Vec<PointProgress>,
 }
 
 impl CampaignCheckpoint {
-    /// Fresh checkpoint covering every flip-flop of a circuit.
+    /// Fresh checkpoint covering the given raw point ids (see
+    /// [`InjectionPoint::raw_index`]).
     pub fn fresh(
         fingerprint: String,
         params: CheckpointParams,
-        num_ffs: usize,
+        point_ids: impl IntoIterator<Item = u32>,
     ) -> CampaignCheckpoint {
+        let points: Vec<PointProgress> = point_ids.into_iter().map(PointProgress::new).collect();
         CampaignCheckpoint {
             version: CHECKPOINT_VERSION,
             fingerprint,
             params,
-            num_ffs,
-            ffs: (0..num_ffs)
-                .map(|i| FfProgress::new(FfId::from_index(i)))
-                .collect(),
+            num_points: points.len(),
+            points,
         }
     }
 
-    /// Number of retired flip-flops.
-    pub fn completed_ffs(&self) -> usize {
-        self.ffs.iter().filter(|p| p.complete).count()
+    /// Fresh SEU checkpoint covering every flip-flop of a circuit.
+    pub fn fresh_seu(
+        fingerprint: String,
+        params: CheckpointParams,
+        num_ffs: usize,
+    ) -> CampaignCheckpoint {
+        assert_eq!(params.fault, FaultKind::Seu);
+        CampaignCheckpoint::fresh(fingerprint, params, 0..num_ffs as u32)
+    }
+
+    /// Fresh SET checkpoint covering the given nets (typically
+    /// [`ffr_sim::CompiledCircuit::comb_output_nets`]).
+    pub fn fresh_set(
+        fingerprint: String,
+        params: CheckpointParams,
+        nets: &[NetId],
+    ) -> CampaignCheckpoint {
+        assert_eq!(params.fault, FaultKind::Set);
+        CampaignCheckpoint::fresh(fingerprint, params, nets.iter().map(|n| n.index() as u32))
+    }
+
+    /// The injection point of one progress record.
+    pub fn point(&self, index: usize) -> InjectionPoint {
+        InjectionPoint::from_raw(self.params.fault, self.points[index].point as usize)
+    }
+
+    /// Number of retired points.
+    pub fn completed_points(&self) -> usize {
+        self.points.iter().filter(|p| p.complete).count()
     }
 
     /// Total injections executed so far.
     pub fn total_injections(&self) -> usize {
-        self.ffs.iter().map(|p| p.injections_done).sum()
+        self.points.iter().map(|p| p.injections_done).sum()
     }
 
-    /// `true` once every flip-flop is retired.
+    /// `true` once every point is retired.
     pub fn is_complete(&self) -> bool {
-        self.ffs.iter().all(|p| p.complete)
+        self.points.iter().all(|p| p.complete)
     }
 
-    /// Assemble the final FDR table from a completed campaign.
+    /// Assemble the final FDR table from a completed SEU campaign.
     ///
     /// # Panics
     ///
-    /// Panics if the campaign is not complete.
+    /// Panics if the campaign is not complete or not an SEU campaign.
     pub fn to_fdr_table(&self) -> FdrTable {
+        assert_eq!(
+            self.params.fault,
+            FaultKind::Seu,
+            "FDR tables come from SEU campaigns (use to_set_table)"
+        );
         assert!(
             self.is_complete(),
-            "campaign still has unfinished flip-flops"
+            "campaign still has unfinished injection points"
         );
         let results = self
-            .ffs
+            .points
             .iter()
             .map(|p| {
                 let mut counts = [0usize; FailureClass::ALL.len()];
                 counts.copy_from_slice(&p.counts);
-                FfCampaignResult::new(FfId::from_index(p.ff as usize), counts)
+                FfCampaignResult::new(FfId::from_index(p.point as usize), counts)
             })
             .collect();
-        FdrTable::from_results(self.num_ffs, results, self.params.policy.max_injections)
+        FdrTable::from_results(self.num_points, results, self.params.policy.max_injections)
+    }
+
+    /// Assemble the final de-rating table from a completed SET campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign is not complete or not a SET campaign.
+    pub fn to_set_table(&self) -> SetDeratingTable {
+        assert_eq!(
+            self.params.fault,
+            FaultKind::Set,
+            "de-rating tables come from SET campaigns (use to_fdr_table)"
+        );
+        assert!(
+            self.is_complete(),
+            "campaign still has unfinished injection points"
+        );
+        let results = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut counts = [0usize; FailureClass::ALL.len()];
+                counts.copy_from_slice(&p.counts);
+                NetSetResult::new(NetId::from_index(p.point as usize), counts)
+            })
+            .collect();
+        SetDeratingTable::from_results(results, self.params.policy.max_injections)
     }
 
     /// Serialize to pretty JSON at `path` via a temp file + atomic rename,
@@ -164,16 +232,20 @@ impl CampaignCheckpoint {
     /// # Errors
     ///
     /// Fails on I/O errors, undecodable files, or a version mismatch.
+    /// The version is probed before full deserialization, so a v1
+    /// checkpoint reports "version 1 unsupported" rather than a
+    /// missing-field decode error.
     pub fn load(path: &Path) -> io::Result<CampaignCheckpoint> {
         let text = std::fs::read_to_string(path)?;
-        let cp: CampaignCheckpoint = serde_json::from_str(&text).map_err(io::Error::other)?;
-        if cp.version != CHECKPOINT_VERSION {
-            return Err(io::Error::other(format!(
-                "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
-                cp.version
-            )));
+        match crate::store::probe_version(&text) {
+            Some(v) if v != CHECKPOINT_VERSION as u64 => {
+                return Err(io::Error::other(format!(
+                    "checkpoint version {v} unsupported (expected {CHECKPOINT_VERSION})"
+                )))
+            }
+            _ => {}
         }
-        Ok(cp)
+        serde_json::from_str(&text).map_err(io::Error::other)
     }
 }
 
@@ -181,8 +253,9 @@ impl CampaignCheckpoint {
 mod tests {
     use super::*;
 
-    fn params() -> CheckpointParams {
+    fn params(fault: FaultKind) -> CheckpointParams {
         CheckpointParams {
+            fault,
             seed: 7,
             window_start: 10,
             window_end: 100,
@@ -192,16 +265,26 @@ mod tests {
 
     #[test]
     fn fresh_checkpoint_is_empty() {
-        let cp = CampaignCheckpoint::fresh("k".into(), params(), 4);
-        assert_eq!(cp.ffs.len(), 4);
-        assert_eq!(cp.completed_ffs(), 0);
+        let cp = CampaignCheckpoint::fresh_seu("k".into(), params(FaultKind::Seu), 4);
+        assert_eq!(cp.points.len(), 4);
+        assert_eq!(cp.completed_points(), 0);
         assert_eq!(cp.total_injections(), 0);
         assert!(!cp.is_complete());
+        assert_eq!(cp.point(2), InjectionPoint::from_raw(FaultKind::Seu, 2));
+    }
+
+    #[test]
+    fn fresh_set_checkpoint_records_net_ids() {
+        let nets = [NetId::from_index(9), NetId::from_index(4)];
+        let cp = CampaignCheckpoint::fresh_set("k".into(), params(FaultKind::Set), &nets);
+        assert_eq!(cp.num_points, 2);
+        assert_eq!(cp.point(0), InjectionPoint::Set(NetId::from_index(9)));
+        assert_eq!(cp.point(1), InjectionPoint::Set(NetId::from_index(4)));
     }
 
     #[test]
     fn absorb_accumulates() {
-        let mut p = FfProgress::new(FfId::from_index(2));
+        let mut p = PointProgress::new(2);
         let mut chunk = [0usize; FailureClass::ALL.len()];
         chunk[FailureClass::Benign.tally_index()] = 60;
         chunk[FailureClass::OutputMismatch.tally_index()] = 4;
@@ -217,18 +300,37 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ffr_ckpt_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ckpt.json");
-        let mut cp = CampaignCheckpoint::fresh("abc".into(), params(), 3);
-        cp.ffs[1].complete = true;
-        cp.ffs[1].injections_done = 128;
+        let mut cp = CampaignCheckpoint::fresh_seu("abc".into(), params(FaultKind::Seu), 3);
+        cp.points[1].complete = true;
+        cp.points[1].injections_done = 128;
         cp.save(&path).unwrap();
         let loaded = CampaignCheckpoint::load(&path).unwrap();
         assert_eq!(loaded, cp);
     }
 
     #[test]
+    fn v1_checkpoint_reports_version_not_missing_fields() {
+        // A PR-1-era checkpoint (version 1, pre-fault-model fields) must
+        // fail with the version message, not an opaque decode error.
+        let dir = std::env::temp_dir().join(format!("ffr_ckpt_v1_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        std::fs::write(
+            &path,
+            r#"{"version":1,"fingerprint":"x","params":{"seed":1,"window_start":0,"window_end":9,"policy":{"min_injections":1,"max_injections":1,"z":1.96,"ci_half_width":null}},"num_ffs":1,"ffs":[]}"#,
+        )
+        .unwrap();
+        let err = CampaignCheckpoint::load(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("version 1 unsupported"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
     fn to_fdr_table_requires_completion() {
-        let mut cp = CampaignCheckpoint::fresh("k".into(), params(), 2);
-        for p in &mut cp.ffs {
+        let mut cp = CampaignCheckpoint::fresh_seu("k".into(), params(FaultKind::Seu), 2);
+        for p in &mut cp.points {
             p.counts[FailureClass::Benign.tally_index()] = 48;
             p.counts[FailureClass::OutputMismatch.tally_index()] = 16;
             p.injections_done = 64;
@@ -237,5 +339,33 @@ mod tests {
         let table = cp.to_fdr_table();
         assert_eq!(table.num_ffs(), 2);
         assert_eq!(table.fdr(FfId::from_index(0)), Some(0.25));
+    }
+
+    #[test]
+    fn to_set_table_from_completed_set_campaign() {
+        let nets = [NetId::from_index(7), NetId::from_index(3)];
+        let mut cp = CampaignCheckpoint::fresh_set("k".into(), params(FaultKind::Set), &nets);
+        for p in &mut cp.points {
+            p.counts[FailureClass::Benign.tally_index()] = 32;
+            p.counts[FailureClass::OutputMismatch.tally_index()] = 32;
+            p.injections_done = 64;
+            p.complete = true;
+        }
+        let table = cp.to_set_table();
+        assert_eq!(table.num_nets(), 2);
+        assert_eq!(table.derating(NetId::from_index(3)), Some(0.5));
+        assert_eq!(table.derating(NetId::from_index(5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "SEU campaigns")]
+    fn fdr_table_from_set_campaign_panics() {
+        let mut cp = CampaignCheckpoint::fresh_set(
+            "k".into(),
+            params(FaultKind::Set),
+            &[NetId::from_index(0)],
+        );
+        cp.points[0].complete = true;
+        let _ = cp.to_fdr_table();
     }
 }

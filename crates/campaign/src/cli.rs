@@ -18,7 +18,7 @@ use crate::runner::{CancelToken, RunOutcome, RunnerOptions};
 use crate::session::{self, CampaignManifest, RunRequest, SessionPaths};
 use crate::spec::CircuitSpec;
 use crate::store::ArtifactStore;
-use ffr_fault::{FailureClass, FdrTable};
+use ffr_fault::{FailureClass, FaultKind, FdrTable, SetDeratingTable};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -28,24 +28,26 @@ ffr — functional-failure-rate campaign orchestration
 
 USAGE:
     ffr run    --circuit <name> --out <dir> [options]
-    ffr resume --out <dir> [--threads N] [--stop-after-ffs N]
+    ffr resume --out <dir> [--threads N] [--stop-after-points N]
     ffr status --out <dir>
     ffr report --out <dir>
     ffr gc     --store <dir> [--max-age-days D | --all]
 
 RUN OPTIONS:
     --circuit <name>        counter | lfsr | alu | traffic | mac-small | mac
+    --fault <model>         seu (flip-flop upsets, default) | set
+                            (combinational-net transients)
     --out <dir>             session directory (checkpoint + results)
     --store <dir>           artifact store (caches golden runs and tables)
     --seed <n>              campaign master seed            [default: 2019]
     --stim-seed <n>         stimulus seed                   [default: 1]
     --cycles <n>            testbench cycles (generic circuits) [default: 400]
-    --injections <n>        fixed injections per flip-flop  [default: 170]
+    --injections <n>        fixed injections per point      [default: 170]
     --adaptive <min:max:hw> adaptive stopping: min/max injections and
                             target Wilson 95% CI half-width (e.g. 64:512:0.05)
-    --checkpoint-every <n>  flush cadence in retired FFs    [default: 32]
+    --checkpoint-every <n>  flush cadence in retired points [default: 32]
     --threads <n>           worker threads                  [default: all cores]
-    --stop-after-ffs <n>    stop (resumably) after N retirements
+    --stop-after-points <n> stop (resumably) after N retirements
     --force                 ignore a cached final table
 ";
 
@@ -135,15 +137,23 @@ fn parse_adaptive(spec: &str) -> Result<AdaptivePolicy, String> {
 fn runner_options(args: &mut Args) -> Result<RunnerOptions, String> {
     Ok(RunnerOptions {
         threads: args.parsed::<usize>("threads")?,
-        stop_after_ffs: args.parsed::<usize>("stop-after-ffs")?,
+        stop_after_points: args.parsed::<usize>("stop-after-points")?,
         ..RunnerOptions::default()
     })
+}
+
+/// CLI noun for a campaign's injection points.
+fn point_noun(fault: FaultKind) -> &'static str {
+    match fault {
+        FaultKind::Seu => "flip-flops",
+        FaultKind::Set => "nets",
+    }
 }
 
 fn progress_printer() -> impl Fn(usize, usize) + Sync {
     |done, total| {
         if done % 16 == 0 || done == total {
-            eprint!("\r[ffr] {done}/{total} flip-flops retired");
+            eprint!("\r[ffr] {done}/{total} injection points retired");
             let _ = std::io::stderr().flush();
         }
     }
@@ -151,10 +161,11 @@ fn progress_printer() -> impl Fn(usize, usize) + Sync {
 
 fn print_summary(summary: &session::RunSummary) {
     eprintln!();
+    let noun = point_noun(summary.fault);
     if summary.table_from_cache {
         println!(
-            "served from artifact cache: {} flip-flops, no simulation needed",
-            summary.total_ffs
+            "served from artifact cache: {} {noun}, no simulation needed",
+            summary.total_points
         );
     } else {
         println!(
@@ -166,14 +177,18 @@ fn print_summary(summary: &session::RunSummary) {
             }
         );
         println!(
-            "progress: {}/{} flip-flops retired, {} injections executed",
-            summary.completed_ffs, summary.total_ffs, summary.total_injections
+            "progress: {}/{} {noun} retired, {} injections executed",
+            summary.completed_points, summary.total_points, summary.total_injections
         );
     }
     match summary.outcome {
         RunOutcome::Complete => {
-            if let Some(path) = &summary.fdr_path {
-                println!("FDR table written to {}", path.display());
+            if let Some(path) = &summary.table_path {
+                let table = match summary.fault {
+                    FaultKind::Seu => "FDR table",
+                    FaultKind::Set => "SET de-rating table",
+                };
+                println!("{table} written to {}", path.display());
             }
         }
         RunOutcome::Cancelled => {
@@ -189,6 +204,9 @@ fn cmd_run(mut args: Args) -> Result<i32, String> {
         .parse()?;
     let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
     let mut request = RunRequest::new(circuit);
+    if let Some(fault) = args.value("fault")? {
+        request.fault = FaultKind::parse_cli(&fault)?;
+    }
     request.store = args.value("store")?.map(PathBuf::from);
     if let Some(seed) = args.parsed::<u64>("seed")? {
         request.seed = seed;
@@ -212,7 +230,7 @@ fn cmd_run(mut args: Args) -> Result<i32, String> {
         (None, None) => AdaptivePolicy::fixed(170),
     };
     if let Some(every) = args.parsed::<usize>("checkpoint-every")? {
-        request.checkpoint_every_ffs = every.max(1);
+        request.checkpoint_every = every.max(1);
     }
     request.force = args.present("force")?;
     let options = runner_options(&mut args)?;
@@ -253,15 +271,17 @@ fn cmd_status(mut args: Args) -> Result<i32, String> {
     let manifest = CampaignManifest::load(&paths.manifest()).map_err(|e| e.to_string())?;
     println!("campaign session {}", out.display());
     println!("  circuit:     {}", manifest.circuit);
+    println!("  fault:       {}", manifest.fault);
     println!("  seed:        {}", manifest.seed);
     println!("  policy:      {}", manifest.policy.describe());
     println!("  fingerprint: {}", manifest.fingerprint);
     match CampaignCheckpoint::load(&paths.checkpoint()) {
         Ok(cp) => {
             println!(
-                "  progress:    {}/{} flip-flops retired, {} injections",
-                cp.completed_ffs(),
-                cp.num_ffs,
+                "  progress:    {}/{} {} retired, {} injections",
+                cp.completed_points(),
+                cp.num_points,
+                point_noun(manifest.fault),
                 cp.total_injections()
             );
             println!(
@@ -275,8 +295,9 @@ fn cmd_status(mut args: Args) -> Result<i32, String> {
         }
         Err(_) => println!("  progress:    not started"),
     }
-    if paths.fdr_json().exists() {
-        println!("  results:     {}", paths.fdr_json().display());
+    let table = paths.table_json(manifest.fault);
+    if table.exists() {
+        println!("  results:     {}", table.display());
     }
     Ok(0)
 }
@@ -285,24 +306,48 @@ fn cmd_report(mut args: Args) -> Result<i32, String> {
     let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
     args.finish()?;
     let paths = SessionPaths::new(&out);
-    let table = FdrTable::load_json(&paths.fdr_json())
-        .map_err(|e| format!("no finished campaign in {}: {e}", out.display()))?;
-    println!(
-        "FDR table: {} flip-flops ({} covered)",
-        table.num_ffs(),
-        table.covered().count()
-    );
-    println!("circuit-level FDR: {:.4}", table.circuit_fdr());
-    println!("\nfailure-class totals:");
-    for (class, count) in table.class_totals() {
-        if class != FailureClass::Benign && count > 0 {
-            println!("  {class:<20} {count}");
+    let manifest = CampaignManifest::load(&paths.manifest()).map_err(|e| e.to_string())?;
+    match manifest.fault {
+        FaultKind::Seu => {
+            let table = FdrTable::load_json(&paths.fdr_json())
+                .map_err(|e| format!("no finished campaign in {}: {e}", out.display()))?;
+            println!(
+                "FDR table: {} flip-flops ({} covered)",
+                table.num_ffs(),
+                table.covered().count()
+            );
+            println!("circuit-level FDR: {:.4}", table.circuit_fdr());
+            println!("\nfailure-class totals:");
+            for (class, count) in table.class_totals() {
+                if class != FailureClass::Benign && count > 0 {
+                    println!("  {class:<20} {count}");
+                }
+            }
+            let injections: usize = table.covered().map(|r| r.injections()).sum();
+            println!("total injections: {injections}");
+            println!("\nFDR histogram (10 bins):");
+            print!("{}", table.histogram(10));
+        }
+        FaultKind::Set => {
+            let table = SetDeratingTable::load_json(&paths.set_json())
+                .map_err(|e| format!("no finished campaign in {}: {e}", out.display()))?;
+            println!("SET de-rating table: {} nets covered", table.num_nets());
+            println!(
+                "circuit-level SET de-rating: {:.4}",
+                table.circuit_derating()
+            );
+            println!("\nfailure-class totals:");
+            for (class, count) in table.class_totals() {
+                if class != FailureClass::Benign && count > 0 {
+                    println!("  {class:<20} {count}");
+                }
+            }
+            let injections: usize = table.covered().map(|r| r.injections()).sum();
+            println!("total injections: {injections}");
+            println!("\nde-rating histogram (10 bins):");
+            print!("{}", table.histogram(10));
         }
     }
-    let injections: usize = table.covered().map(|r| r.injections()).sum();
-    println!("total injections: {injections}");
-    println!("\nFDR histogram (10 bins):");
-    print!("{}", table.histogram(10));
     Ok(0)
 }
 
@@ -429,7 +474,7 @@ mod tests {
             "64",
             "--checkpoint-every",
             "1",
-            "--stop-after-ffs",
+            "--stop-after-points",
             "2",
         ]));
         assert_eq!(code, 2, "interrupted run exits with 2");
@@ -472,5 +517,56 @@ mod tests {
             main_with_args(&strs(&["gc", "--store", &store_s, "--all"])),
             0
         );
+    }
+
+    #[test]
+    fn set_campaign_via_cli_kill_resume_report() {
+        let base = std::env::temp_dir().join(format!("ffr_cli_set_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let out = base.join("session");
+        let out_s = out.to_string_lossy().into_owned();
+
+        // Interrupted SET run…
+        let code = main_with_args(&strs(&[
+            "run",
+            "--circuit",
+            "counter",
+            "--fault",
+            "set",
+            "--out",
+            &out_s,
+            "--cycles",
+            "160",
+            "--injections",
+            "48",
+            "--checkpoint-every",
+            "1",
+            "--stop-after-points",
+            "2",
+        ]));
+        assert_eq!(code, 2, "interrupted run exits with 2");
+        assert!(out.join("checkpoint.json").exists());
+        assert!(!out.join("set-derating.json").exists());
+
+        // …resumes to a SET de-rating table and reports it.
+        assert_eq!(main_with_args(&strs(&["resume", "--out", &out_s])), 0);
+        assert!(out.join("set-derating.json").exists());
+        assert!(out.join("set-derating.csv").exists());
+        assert_eq!(main_with_args(&strs(&["status", "--out", &out_s])), 0);
+        assert_eq!(main_with_args(&strs(&["report", "--out", &out_s])), 0);
+
+        // Unknown fault model fails cleanly.
+        let code = main_with_args(&strs(&[
+            "run",
+            "--circuit",
+            "counter",
+            "--fault",
+            "sbu",
+            "--out",
+            &out_s,
+        ]));
+        assert_eq!(code, 64);
+
+        let _ = std::fs::remove_dir_all(&base);
     }
 }

@@ -6,25 +6,30 @@
 //! turns the one-shot in-memory campaigns of [`ffr_fault`] into durable
 //! jobs that scale:
 //!
-//! * **Checkpoint / resume** ([`checkpoint`], [`runner`]) — per-flip-flop
+//! Campaigns are generic over the fault model: every layer — progress
+//! records, runner, session, CLI — works on
+//! [`InjectionPoint`](ffr_fault::InjectionPoint)s, so SEU (per-flip-flop)
+//! and SET (per-combinational-net) campaigns share one durable pipeline.
+//!
+//! * **Checkpoint / resume** ([`checkpoint`], [`runner`]) — per-point
 //!   progress is periodically flushed to disk; a killed run resumes
 //!   **bit-identically**, because injection plans and stopping decisions
-//!   are pure functions of `(seed, flip-flop, window, policy)`.
-//! * **Artifact store** ([`store`]) — golden runs, FDR tables, feature
-//!   matrices and datasets are cached on disk, content-addressed by
-//!   netlist hash + configuration in a versioned, self-describing format.
-//!   Reruns with identical inputs are served from the cache without
-//!   simulating a cycle.
-//! * **Adaptive early stopping** ([`adaptive`]) — a flip-flop is retired
-//!   as soon as the Wilson confidence interval on its FDR is tight enough,
-//!   typically cutting campaign cost severalfold on bimodal FDR
+//!   are pure functions of `(seed, point, window, policy)`.
+//! * **Artifact store** ([`store`]) — golden runs, FDR tables, SET
+//!   de-rating tables, feature matrices and datasets are cached on disk,
+//!   content-addressed by netlist hash + configuration in a versioned,
+//!   self-describing format. Reruns with identical inputs are served from
+//!   the cache without simulating a cycle.
+//! * **Adaptive early stopping** ([`adaptive`]) — a point is retired as
+//!   soon as the Wilson confidence interval on its failure fraction is
+//!   tight enough, typically cutting campaign cost severalfold on bimodal
 //!   populations.
-//! * **Work stealing** ([`runner`]) — workers claim flip-flops from a
-//!   shared cursor, so adaptive stopping and early convergence exit do not
-//!   leave threads idle behind a static partition.
-//! * **The `ffr` CLI** ([`cli`]) — `run`, `resume`, `status`, `report`,
-//!   `gc` over named circuits ([`spec`]), replacing ad-hoc per-experiment
-//!   binaries for the core campaign flow.
+//! * **Work stealing** ([`runner`]) — workers claim injection points from
+//!   a shared cursor, so adaptive stopping and early convergence exit do
+//!   not leave threads idle behind a static partition.
+//! * **The `ffr` CLI** ([`cli`]) — `run --fault {seu,set}`, `resume`,
+//!   `status`, `report`, `gc` over named circuits ([`spec`]), replacing
+//!   ad-hoc per-experiment binaries for the core campaign flow.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,7 +43,7 @@ pub mod spec;
 pub mod store;
 
 pub use adaptive::{AdaptivePolicy, CHUNK_INJECTIONS};
-pub use checkpoint::{CampaignCheckpoint, CheckpointParams, FfProgress};
+pub use checkpoint::{CampaignCheckpoint, CheckpointParams, PointProgress};
 pub use runner::{run_resumable, CancelToken, RunOutcome, RunnerOptions};
 pub use session::{CampaignManifest, RunRequest, RunSummary, SessionPaths};
 pub use spec::{CircuitSpec, PreparedCircuit};

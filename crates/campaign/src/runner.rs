@@ -1,26 +1,31 @@
 //! The checkpointed, work-stealing campaign runner.
 //!
-//! Flip-flops are claimed by worker threads in small chunks off a shared
-//! atomic cursor (work stealing) rather than split statically: per-FF cost
-//! varies wildly once adaptive stopping and early convergence exit are in
-//! play, and a static split would leave workers idle behind the unlucky
-//! one. Each worker runs one flip-flop's injection plan in 64-injection
-//! batches, consulting the [`AdaptivePolicy`] after every batch, and
-//! writes progress back into the shared [`CampaignCheckpoint`]; every
-//! `checkpoint_every_ffs` retirements the checkpoint is flushed through
-//! the caller's sink (typically [`CampaignCheckpoint::save`]).
+//! Injection points (flip-flops for SEU campaigns, combinational nets for
+//! SET campaigns) are claimed by worker threads in small chunks off a
+//! shared atomic cursor (work stealing) rather than split statically:
+//! per-point cost varies wildly once adaptive stopping and early
+//! convergence exit are in play, and a static split would leave workers
+//! idle behind the unlucky one. Each worker runs one point's injection
+//! plan in 64-injection batches, consulting the [`AdaptivePolicy`] after
+//! every batch, and writes progress back into the shared
+//! [`CampaignCheckpoint`]; every `checkpoint_every` retirements the
+//! checkpoint is flushed through the caller's sink (typically
+//! [`CampaignCheckpoint::save`]).
 //!
 //! # Determinism
 //!
-//! A flip-flop's injection plan and stopping decisions depend only on
-//! `(seed, ff, window, policy)` — never on scheduling. Killing the run at
-//! any point and resuming from the last flushed checkpoint therefore
-//! produces a final [`FdrTable`](ffr_fault::FdrTable) bit-identical to an
-//! uninterrupted run; the integration tests assert this byte-for-byte.
+//! A point's injection plan and stopping decisions depend only on
+//! `(seed, point, window, policy)` — never on scheduling. Killing the run
+//! at any point and resuming from the last flushed checkpoint therefore
+//! produces a final [`FdrTable`](ffr_fault::FdrTable) (or
+//! [`SetDeratingTable`](ffr_fault::SetDeratingTable)) bit-identical to an
+//! uninterrupted run; the integration tests assert this byte-for-byte for
+//! both fault models.
+//!
+//! [`AdaptivePolicy`]: crate::adaptive::AdaptivePolicy
 
-use crate::checkpoint::{CampaignCheckpoint, FfProgress};
-use ffr_fault::{sample_injection_times, Campaign, CampaignConfig, FailureJudge};
-use ffr_netlist::FfId;
+use crate::checkpoint::{CampaignCheckpoint, PointProgress};
+use ffr_fault::{sample_injection_times, Campaign, CampaignConfig, FailureJudge, FaultKind};
 use ffr_sim::Stimulus;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -52,23 +57,23 @@ impl CancelToken {
 pub struct RunnerOptions {
     /// Worker threads (`None` = available parallelism).
     pub threads: Option<usize>,
-    /// Flush the checkpoint after this many flip-flop retirements.
-    pub checkpoint_every_ffs: usize,
-    /// Flip-flops claimed per work-steal (small = better balance, large =
-    /// less cursor contention).
+    /// Flush the checkpoint after this many point retirements.
+    pub checkpoint_every: usize,
+    /// Injection points claimed per work-steal (small = better balance,
+    /// large = less cursor contention).
     pub steal_chunk: usize,
-    /// Self-cancel after retiring this many flip-flops in this invocation
+    /// Self-cancel after retiring this many points in this invocation
     /// (test/CLI hook for simulating a killed run).
-    pub stop_after_ffs: Option<usize>,
+    pub stop_after_points: Option<usize>,
 }
 
 impl Default for RunnerOptions {
     fn default() -> RunnerOptions {
         RunnerOptions {
             threads: None,
-            checkpoint_every_ffs: 32,
+            checkpoint_every: 32,
             steal_chunk: 4,
-            stop_after_ffs: None,
+            stop_after_points: None,
         }
     }
 }
@@ -76,9 +81,10 @@ impl Default for RunnerOptions {
 /// How a [`run_resumable`] invocation ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
-    /// Every flip-flop is retired; the checkpoint holds the full campaign.
+    /// Every injection point is retired; the checkpoint holds the full
+    /// campaign.
     Complete,
-    /// Cancelled (token or `stop_after_ffs`); the checkpoint holds a
+    /// Cancelled (token or `stop_after_points`); the checkpoint holds a
     /// resumable partial campaign.
     Cancelled,
 }
@@ -116,8 +122,8 @@ impl<Sink: FnMut(&CampaignCheckpoint) -> io::Result<()>> Shared<'_, Sink> {
 ///
 /// # Panics
 ///
-/// Panics if the checkpoint's flip-flop count does not match the
-/// campaign's circuit.
+/// Panics if the checkpoint's injection points do not fit the campaign's
+/// circuit.
 pub fn run_resumable<S, J>(
     campaign: &Campaign<'_, S, J>,
     checkpoint: &mut CampaignCheckpoint,
@@ -130,26 +136,35 @@ where
     S: Stimulus + Sync,
     J: FailureJudge,
 {
-    assert_eq!(
-        checkpoint.num_ffs,
-        campaign.circuit().num_ffs(),
-        "checkpoint belongs to a different circuit"
-    );
+    match checkpoint.params.fault {
+        FaultKind::Seu => assert_eq!(
+            checkpoint.num_points,
+            campaign.circuit().num_ffs(),
+            "SEU checkpoint belongs to a different circuit"
+        ),
+        FaultKind::Set => assert!(
+            checkpoint
+                .points
+                .iter()
+                .all(|p| (p.point as usize) < campaign.circuit().netlist().num_nets()),
+            "SET checkpoint targets nets beyond this circuit"
+        ),
+    }
     let params = checkpoint.params.clone();
     let policy = params.policy.clone();
     let config = CampaignConfig::new(params.window_start..params.window_end)
         .with_injections(policy.max_injections)
         .with_seed(params.seed);
 
-    // Work list: indices of flip-flops not yet retired.
+    // Work list: indices of injection points not yet retired.
     let pending: Vec<usize> = checkpoint
-        .ffs
+        .points
         .iter()
         .enumerate()
         .filter(|(_, p)| !p.complete)
         .map(|(i, _)| i)
         .collect();
-    let total = checkpoint.num_ffs;
+    let total = checkpoint.num_points;
     let already_retired = total - pending.len();
     if pending.is_empty() {
         return Ok(RunOutcome::Complete);
@@ -184,24 +199,26 @@ where
                     return;
                 }
                 let claimed = &pending[start..(start + steal_chunk).min(pending.len())];
-                for &ff_index in claimed {
+                for &point_index in claimed {
                     if cancel.is_cancelled() {
                         return;
                     }
-                    // Snapshot this flip-flop's progress. Only one worker
-                    // ever touches a given flip-flop (the cursor hands out
-                    // disjoint ranges), so the snapshot cannot go stale.
-                    let mut record: FfProgress = {
+                    // Snapshot this point's progress. Only one worker ever
+                    // touches a given point (the cursor hands out disjoint
+                    // ranges), so the snapshot cannot go stale.
+                    let (mut record, point): (PointProgress, _) = {
                         let guard = shared.lock().expect("progress lock poisoned");
                         if guard.io_error.is_some() {
                             return;
                         }
-                        guard.checkpoint.ffs[ff_index].clone()
+                        (
+                            guard.checkpoint.points[point_index].clone(),
+                            guard.checkpoint.point(point_index),
+                        )
                     };
-                    let ff = FfId::from_index(ff_index);
                     let times = sample_injection_times(
                         params.seed,
-                        ff_index as u64,
+                        point.stream(),
                         params.window_start..params.window_end,
                         policy.max_injections,
                     );
@@ -214,7 +231,7 @@ where
                             break;
                         }
                         let slice = &times[record.injections_done..record.injections_done + batch];
-                        let counts = campaign.run_ff_times(ff, slice, &config);
+                        let counts = campaign.run_point_times(point, slice, &config);
                         record.absorb(&counts, batch);
                     }
                     record.complete = policy.is_settled(record.failures(), record.injections_done);
@@ -222,15 +239,15 @@ where
                     // Publish progress; flush and report on retirement.
                     let mut guard = shared.lock().expect("progress lock poisoned");
                     let retired = record.complete;
-                    guard.checkpoint.ffs[ff_index] = record;
+                    guard.checkpoint.points[point_index] = record;
                     if retired {
                         guard.retired_since_flush += 1;
                         guard.retired_this_run += 1;
                         progress(already_retired + guard.retired_this_run, total);
-                        if guard.retired_since_flush >= options.checkpoint_every_ffs {
+                        if guard.retired_since_flush >= options.checkpoint_every {
                             guard.flush();
                         }
-                        if let Some(limit) = options.stop_after_ffs {
+                        if let Some(limit) = options.stop_after_points {
                             if guard.retired_this_run >= limit {
                                 cancel.cancel();
                             }
@@ -283,15 +300,30 @@ mod tests {
     }
 
     fn checkpoint_for(cc: &CompiledCircuit, policy: AdaptivePolicy) -> CampaignCheckpoint {
-        CampaignCheckpoint::fresh(
+        CampaignCheckpoint::fresh_seu(
             "test".into(),
             CheckpointParams {
+                fault: FaultKind::Seu,
                 seed: 11,
                 window_start: 10,
                 window_end: 120,
                 policy,
             },
             cc.num_ffs(),
+        )
+    }
+
+    fn set_checkpoint_for(cc: &CompiledCircuit, policy: AdaptivePolicy) -> CampaignCheckpoint {
+        CampaignCheckpoint::fresh_set(
+            "test".into(),
+            CheckpointParams {
+                fault: FaultKind::Set,
+                seed: 11,
+                window_start: 10,
+                window_end: 120,
+                policy,
+            },
+            &cc.comb_output_nets(),
         )
     }
 
@@ -357,7 +389,7 @@ mod tests {
             &campaign,
             &mut cp,
             &RunnerOptions {
-                stop_after_ffs: Some(3),
+                stop_after_points: Some(3),
                 threads: Some(2),
                 ..RunnerOptions::default()
             },
@@ -367,7 +399,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(outcome, RunOutcome::Cancelled);
-        assert!(cp.completed_ffs() >= 3);
+        assert!(cp.completed_points() >= 3);
         assert!(!cp.is_complete());
 
         let outcome = run_resumable(
@@ -381,6 +413,64 @@ mod tests {
         .unwrap();
         assert_eq!(outcome, RunOutcome::Complete);
         assert_eq!(cp, reference, "resume must be bit-identical");
+    }
+
+    #[test]
+    fn set_campaign_runs_resumable_and_matches_one_shot() {
+        // The unified runner must reproduce the one-shot SET campaign
+        // exactly, and a cancelled SET run must resume bit-identically.
+        let cc = CompiledCircuit::compile(small::counter_circuit(5)).unwrap();
+        let watch = WatchList::all(&cc);
+        let judge = OutputMismatchJudge::new();
+        let campaign = Campaign::new(&cc, &AlwaysOn, &watch, &judge);
+        let policy = AdaptivePolicy::fixed(96);
+
+        let mut reference = set_checkpoint_for(&cc, policy.clone());
+        let outcome = run_resumable(
+            &campaign,
+            &mut reference,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_| Ok(()),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(outcome, RunOutcome::Complete);
+        let resumable = reference.to_set_table();
+
+        // One-shot engine on the same nets, same seed/window.
+        let config = ffr_fault::CampaignConfig::new(10..120)
+            .with_injections(96)
+            .with_seed(11);
+        let one_shot = campaign.run_set_parallel(&cc.comb_output_nets(), &config, |_, _| {});
+        assert_eq!(resumable, one_shot);
+
+        // Kill after 2 retirements, resume, compare checkpoints.
+        let mut cp = set_checkpoint_for(&cc, policy);
+        let outcome = run_resumable(
+            &campaign,
+            &mut cp,
+            &RunnerOptions {
+                stop_after_points: Some(2),
+                threads: Some(2),
+                ..RunnerOptions::default()
+            },
+            &CancelToken::new(),
+            |_| Ok(()),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(outcome, RunOutcome::Cancelled);
+        run_resumable(
+            &campaign,
+            &mut cp,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_| Ok(()),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(cp, reference, "SET resume must be bit-identical");
     }
 
     #[test]
@@ -439,7 +529,7 @@ mod tests {
             &campaign,
             &mut cp,
             &RunnerOptions {
-                checkpoint_every_ffs: 1,
+                checkpoint_every: 1,
                 ..RunnerOptions::default()
             },
             &CancelToken::new(),

@@ -5,32 +5,34 @@
 //!
 //! ```text
 //! <out>/
-//!   campaign.json     — manifest: circuit, stimulus, seed, policy, store
-//!   checkpoint.json   — resumable per-FF progress (atomic rename updates)
-//!   fdr.json          — final FDR table (written on completion)
-//!   fdr.csv           — final FDR table, CSV rendering
+//!   campaign.json        — manifest: circuit, fault model, stimulus, seed,
+//!                          policy, store
+//!   checkpoint.json      — resumable per-point progress (atomic renames)
+//!   fdr.json / fdr.csv   — final SEU FDR table (written on completion)
+//!   set-derating.json / set-derating.csv
+//!                        — final SET de-rating table (SET campaigns)
 //! ```
 //!
 //! `run` creates the manifest and drives the campaign; `resume` reloads
-//! manifest + checkpoint and continues — the final `fdr.json` is
-//! byte-identical either way. When a store is configured, the golden run
-//! and the final table are cached content-addressed: a rerun with
-//! identical inputs is served from the cache without re-simulating
-//! anything.
+//! manifest + checkpoint and continues — the final table is
+//! byte-identical either way, for both fault models. When a store is
+//! configured, the golden run and the final table are cached
+//! content-addressed: a rerun with identical inputs is served from the
+//! cache without re-simulating anything.
 
 use crate::adaptive::AdaptivePolicy;
 use crate::checkpoint::{CampaignCheckpoint, CheckpointParams};
 use crate::runner::{run_resumable, CancelToken, RunOutcome, RunnerOptions};
 use crate::spec::CircuitSpec;
 use crate::store::{ArtifactKind, ArtifactStore, StoreKey};
-use ffr_fault::{Campaign, FdrTable};
+use ffr_fault::{Campaign, FaultKind, FdrTable, SetDeratingTable};
 use ffr_sim::GoldenRun;
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Manifest format version.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Manifest format version (2: fault-model-aware sessions).
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// Shortest testbench that still leaves a non-empty injection window
 /// with settling margins (see [`CircuitSpec::prepare`]).
@@ -43,6 +45,8 @@ pub struct CampaignManifest {
     pub version: u32,
     /// Circuit name (parsed by [`CircuitSpec`]).
     pub circuit: String,
+    /// Fault model of the campaign.
+    pub fault: FaultKind,
     /// Stimulus seed.
     pub stim_seed: u64,
     /// Testbench length for the generic stimulus (ignored by the MAC
@@ -52,8 +56,8 @@ pub struct CampaignManifest {
     pub seed: u64,
     /// Adaptive stopping policy.
     pub policy: AdaptivePolicy,
-    /// Checkpoint flush cadence, in retired flip-flops.
-    pub checkpoint_every_ffs: usize,
+    /// Checkpoint flush cadence, in retired injection points.
+    pub checkpoint_every: usize,
     /// Artifact store root (`None` disables caching).
     pub store: Option<String>,
     /// Content fingerprint of (netlist, stimulus, campaign params); also
@@ -76,17 +80,21 @@ impl CampaignManifest {
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors, undecodable files or a version mismatch.
+    /// Fails on I/O errors, undecodable files or a version mismatch. The
+    /// version is probed before full deserialization, so a v1 manifest
+    /// reports "version 1 unsupported" rather than a missing-field
+    /// decode error.
     pub fn load(path: &Path) -> io::Result<CampaignManifest> {
         let text = std::fs::read_to_string(path)?;
-        let m: CampaignManifest = serde_json::from_str(&text).map_err(io::Error::other)?;
-        if m.version != MANIFEST_VERSION {
-            return Err(io::Error::other(format!(
-                "manifest version {} unsupported (expected {MANIFEST_VERSION})",
-                m.version
-            )));
+        match crate::store::probe_version(&text) {
+            Some(v) if v != MANIFEST_VERSION as u64 => {
+                return Err(io::Error::other(format!(
+                    "manifest version {v} unsupported (expected {MANIFEST_VERSION})"
+                )))
+            }
+            _ => {}
         }
-        Ok(m)
+        serde_json::from_str(&text).map_err(io::Error::other)
     }
 }
 
@@ -115,14 +123,42 @@ impl SessionPaths {
         self.out_dir.join("checkpoint.json")
     }
 
-    /// The final FDR table (JSON).
+    /// The final SEU FDR table (JSON).
     pub fn fdr_json(&self) -> PathBuf {
         self.out_dir.join("fdr.json")
     }
 
-    /// The final FDR table (CSV).
+    /// The final SEU FDR table (CSV).
     pub fn fdr_csv(&self) -> PathBuf {
         self.out_dir.join("fdr.csv")
+    }
+
+    /// The final SET de-rating table (JSON).
+    pub fn set_json(&self) -> PathBuf {
+        self.out_dir.join("set-derating.json")
+    }
+
+    /// The final SET de-rating table (CSV).
+    pub fn set_csv(&self) -> PathBuf {
+        self.out_dir.join("set-derating.csv")
+    }
+
+    /// The final result table (JSON) of a campaign with the given fault
+    /// model.
+    pub fn table_json(&self, fault: FaultKind) -> PathBuf {
+        match fault {
+            FaultKind::Seu => self.fdr_json(),
+            FaultKind::Set => self.set_json(),
+        }
+    }
+
+    /// The final result table (CSV) of a campaign with the given fault
+    /// model.
+    pub fn table_csv(&self, fault: FaultKind) -> PathBuf {
+        match fault {
+            FaultKind::Seu => self.fdr_csv(),
+            FaultKind::Set => self.set_csv(),
+        }
     }
 }
 
@@ -131,6 +167,9 @@ impl SessionPaths {
 pub struct RunRequest {
     /// Circuit to run on.
     pub circuit: CircuitSpec,
+    /// Fault model: SEU over every flip-flop, or SET over every
+    /// combinational net.
+    pub fault: FaultKind,
     /// Stimulus seed.
     pub stim_seed: u64,
     /// Testbench length for generic circuits.
@@ -140,7 +179,7 @@ pub struct RunRequest {
     /// Stopping policy.
     pub policy: AdaptivePolicy,
     /// Checkpoint flush cadence.
-    pub checkpoint_every_ffs: usize,
+    pub checkpoint_every: usize,
     /// Artifact store root (`None` disables caching).
     pub store: Option<PathBuf>,
     /// Ignore a cached final table and re-run.
@@ -148,16 +187,17 @@ pub struct RunRequest {
 }
 
 impl RunRequest {
-    /// Sensible defaults for a circuit: paper-style fixed 170-injection
-    /// policy, checkpoint every 32 flip-flops, no store.
+    /// Sensible defaults for a circuit: SEU fault model, paper-style fixed
+    /// 170-injection policy, checkpoint every 32 points, no store.
     pub fn new(circuit: CircuitSpec) -> RunRequest {
         RunRequest {
             circuit,
+            fault: FaultKind::Seu,
             stim_seed: 1,
             cycles: 400,
             seed: 2019,
             policy: AdaptivePolicy::fixed(170),
-            checkpoint_every_ffs: 32,
+            checkpoint_every: 32,
             store: None,
             force: false,
         }
@@ -167,6 +207,8 @@ impl RunRequest {
 /// Outcome summary of a `run`/`resume` invocation.
 #[derive(Debug)]
 pub struct RunSummary {
+    /// Fault model of the session.
+    pub fault: FaultKind,
     /// How the runner ended (cache-served runs report `Complete`).
     pub outcome: RunOutcome,
     /// `true` if the golden run came from the artifact store.
@@ -174,20 +216,104 @@ pub struct RunSummary {
     /// `true` if the final table was served from the artifact store
     /// without simulating anything.
     pub table_from_cache: bool,
-    /// Retired flip-flops.
-    pub completed_ffs: usize,
-    /// Total flip-flops.
-    pub total_ffs: usize,
+    /// Retired injection points.
+    pub completed_points: usize,
+    /// Total injection points.
+    pub total_points: usize,
     /// Injections executed so far (all invocations).
     pub total_injections: usize,
-    /// Path of the final FDR table, once complete.
-    pub fdr_path: Option<PathBuf>,
+    /// Path of the final result table, once complete.
+    pub table_path: Option<PathBuf>,
 }
 
 fn open_store(path: &Option<String>) -> io::Result<Option<ArtifactStore>> {
     match path {
         None => Ok(None),
         Some(p) => Ok(Some(ArtifactStore::open(p)?)),
+    }
+}
+
+/// The two final-table types behind one interface, so cache serving and
+/// completion write-out are implemented once instead of per fault model.
+trait CampaignTable: serde::Serialize + serde::Deserialize + Sized {
+    /// Store kind of the table artifact.
+    const KIND: ArtifactKind;
+    fn save_json(&self, path: &Path) -> io::Result<()>;
+    fn to_csv(&self) -> String;
+}
+
+impl CampaignTable for FdrTable {
+    const KIND: ArtifactKind = ArtifactKind::FdrTable;
+    fn save_json(&self, path: &Path) -> io::Result<()> {
+        FdrTable::save_json(self, path)
+    }
+    fn to_csv(&self) -> String {
+        FdrTable::to_csv(self)
+    }
+}
+
+impl CampaignTable for SetDeratingTable {
+    const KIND: ArtifactKind = ArtifactKind::SetTable;
+    fn save_json(&self, path: &Path) -> io::Result<()> {
+        SetDeratingTable::save_json(self, path)
+    }
+    fn to_csv(&self) -> String {
+        SetDeratingTable::to_csv(self)
+    }
+}
+
+/// Write the session's final table files (JSON + CSV).
+fn write_table_files<T: CampaignTable>(
+    table: &T,
+    paths: &SessionPaths,
+    fault: FaultKind,
+) -> io::Result<()> {
+    table.save_json(&paths.table_json(fault))?;
+    std::fs::write(paths.table_csv(fault), table.to_csv())
+}
+
+/// Serve the final table from the artifact store if cached; returns
+/// whether it was.
+fn serve_cached_table<T: CampaignTable>(
+    store: &ArtifactStore,
+    key: &StoreKey,
+    paths: &SessionPaths,
+    fault: FaultKind,
+) -> io::Result<bool> {
+    match store.get::<T>(T::KIND, key)? {
+        Some(table) => {
+            write_table_files(&table, paths, fault)?;
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+/// Write the final table files and publish the table to the store.
+fn publish_table<T: CampaignTable>(
+    table: &T,
+    paths: &SessionPaths,
+    fault: FaultKind,
+    store: &Option<ArtifactStore>,
+    key: &StoreKey,
+) -> io::Result<()> {
+    write_table_files(table, paths, fault)?;
+    if let Some(store) = store {
+        store.put(T::KIND, key, table)?;
+    }
+    Ok(())
+}
+
+/// The campaign's injection-point ids for a circuit: every flip-flop for
+/// SEU, every combinational op output net for SET.
+fn point_ids(fault: FaultKind, cc: &ffr_sim::CompiledCircuit) -> Vec<u32> {
+    match fault {
+        FaultKind::Seu => (0..cc.num_ffs() as u32).collect(),
+        FaultKind::Set => cc
+            .comb_output_nets()
+            .iter()
+            .map(|n| n.index() as u32)
+            .collect(),
     }
 }
 
@@ -215,31 +341,33 @@ pub fn run(
     let prepared = request.circuit.prepare(request.stim_seed, request.cycles);
     let window = prepared.window.clone();
 
-    // The campaign fingerprint covers the netlist, the stimulus and every
-    // campaign parameter.
+    // The campaign fingerprint covers the netlist, the stimulus, the
+    // fault model and every campaign parameter.
     let campaign_desc = format!(
-        "{};window={}..{};seed={};policy={}",
+        "{};fault={};window={}..{};seed={};policy={}",
         prepared.config_desc,
+        request.fault,
         window.start,
         window.end,
         request.seed,
         request.policy.describe()
     );
-    let fdr_key = StoreKey::of(prepared.cc.netlist(), &campaign_desc);
+    let table_key = StoreKey::of(prepared.cc.netlist(), &campaign_desc);
 
     let manifest = CampaignManifest {
         version: MANIFEST_VERSION,
         circuit: request.circuit.spec_string(),
+        fault: request.fault,
         stim_seed: request.stim_seed,
         cycles: request.cycles,
         seed: request.seed,
         policy: request.policy.clone(),
-        checkpoint_every_ffs: request.checkpoint_every_ffs,
+        checkpoint_every: request.checkpoint_every,
         store: request
             .store
             .as_ref()
             .map(|p| p.to_string_lossy().into_owned()),
-        fingerprint: fdr_key.to_string(),
+        fingerprint: table_key.to_string(),
     };
 
     // Refuse to clobber a different campaign's session directory. The
@@ -277,17 +405,28 @@ pub fn run(
     // checkpoint to honour.
     if !request.force && checkpoint.is_none() {
         if let Some(store) = &store {
-            if let Some(table) = store.get::<FdrTable>(ArtifactKind::FdrTable, &fdr_key)? {
-                table.save_json(&paths.fdr_json())?;
-                std::fs::write(paths.fdr_csv(), table.to_csv())?;
+            let num_points = point_ids(request.fault, &prepared.cc).len();
+            let served = match request.fault {
+                FaultKind::Seu => {
+                    serve_cached_table::<FdrTable>(store, &table_key, &paths, request.fault)?
+                }
+                FaultKind::Set => serve_cached_table::<SetDeratingTable>(
+                    store,
+                    &table_key,
+                    &paths,
+                    request.fault,
+                )?,
+            };
+            if served {
                 return Ok(RunSummary {
+                    fault: request.fault,
                     outcome: RunOutcome::Complete,
                     golden_from_cache: true,
                     table_from_cache: true,
-                    completed_ffs: prepared.cc.num_ffs(),
-                    total_ffs: prepared.cc.num_ffs(),
+                    completed_points: num_points,
+                    total_points: num_points,
                     total_injections: 0,
-                    fdr_path: Some(paths.fdr_json()),
+                    table_path: Some(paths.table_json(request.fault)),
                 });
             }
         }
@@ -296,12 +435,13 @@ pub fn run(
         CampaignCheckpoint::fresh(
             manifest.fingerprint.clone(),
             CheckpointParams {
+                fault: request.fault,
                 seed: request.seed,
                 window_start: window.start,
                 window_end: window.end,
                 policy: request.policy.clone(),
             },
-            prepared.cc.num_ffs(),
+            point_ids(request.fault, &prepared.cc),
         )
     });
 
@@ -337,6 +477,11 @@ pub fn resume(
             "checkpoint does not match the session manifest",
         ));
     }
+    if checkpoint.params.fault != manifest.fault {
+        return Err(io::Error::other(
+            "checkpoint fault model does not match the session manifest",
+        ));
+    }
     let store = open_store(&manifest.store)?;
     drive(
         prepared, manifest, checkpoint, paths, store, options, cancel, progress,
@@ -354,8 +499,9 @@ fn drive(
     cancel: &CancelToken,
     progress: impl Fn(usize, usize) + Sync,
 ) -> io::Result<RunSummary> {
-    // Golden run: cache by (netlist, stimulus) — campaign parameters do
-    // not affect it, so every policy/seed shares one golden artifact.
+    // Golden run: cache by (netlist, stimulus) — fault model and campaign
+    // parameters do not affect it, so SEU and SET campaigns with any
+    // policy/seed all share one golden artifact.
     let golden_key = StoreKey::of(prepared.cc.netlist(), &prepared.config_desc);
     let mut golden_from_cache = false;
     let golden = match &store {
@@ -384,7 +530,7 @@ fn drive(
 
     let checkpoint_path = paths.checkpoint();
     let mut runner_options = options.clone();
-    runner_options.checkpoint_every_ffs = manifest.checkpoint_every_ffs;
+    runner_options.checkpoint_every = manifest.checkpoint_every;
     let outcome = run_resumable(
         &campaign,
         &mut checkpoint,
@@ -394,26 +540,37 @@ fn drive(
         progress,
     )?;
 
-    let mut fdr_path = None;
+    let mut table_path = None;
     if outcome == RunOutcome::Complete {
-        let table = checkpoint.to_fdr_table();
-        table.save_json(&paths.fdr_json())?;
-        std::fs::write(paths.fdr_csv(), table.to_csv())?;
-        fdr_path = Some(paths.fdr_json());
-        if let Some(store) = &store {
-            let fdr_key: StoreKey = parse_key(&manifest.fingerprint)?;
-            store.put(ArtifactKind::FdrTable, &fdr_key, &table)?;
+        let key: StoreKey = parse_key(&manifest.fingerprint)?;
+        match manifest.fault {
+            FaultKind::Seu => publish_table(
+                &checkpoint.to_fdr_table(),
+                &paths,
+                manifest.fault,
+                &store,
+                &key,
+            )?,
+            FaultKind::Set => publish_table(
+                &checkpoint.to_set_table(),
+                &paths,
+                manifest.fault,
+                &store,
+                &key,
+            )?,
         }
+        table_path = Some(paths.table_json(manifest.fault));
     }
 
     Ok(RunSummary {
+        fault: manifest.fault,
         outcome,
         golden_from_cache,
         table_from_cache: false,
-        completed_ffs: checkpoint.completed_ffs(),
-        total_ffs: checkpoint.num_ffs,
+        completed_points: checkpoint.completed_points(),
+        total_points: checkpoint.num_points,
         total_injections: checkpoint.total_injections(),
-        fdr_path,
+        table_path,
     })
 }
 
@@ -440,11 +597,12 @@ mod tests {
     fn quick_request(store: Option<PathBuf>) -> RunRequest {
         RunRequest {
             circuit: CircuitSpec::Counter { width: 6 },
+            fault: FaultKind::Seu,
             stim_seed: 1,
             cycles: 160,
             seed: 7,
             policy: AdaptivePolicy::fixed(64),
-            checkpoint_every_ffs: 2,
+            checkpoint_every: 2,
             store,
             force: false,
         }
@@ -485,6 +643,71 @@ mod tests {
     }
 
     #[test]
+    fn set_session_produces_derating_table_and_cache_round_trip() {
+        let out = tmp_dir("set_run");
+        let store_dir = tmp_dir("set_store");
+        let mut request = quick_request(Some(store_dir));
+        request.fault = FaultKind::Set;
+        let summary = run(
+            &request,
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.fault, FaultKind::Set);
+        assert_eq!(summary.outcome, RunOutcome::Complete);
+        assert!(summary.total_points > 0, "counter has combinational nets");
+        let table = SetDeratingTable::load_json(&out.join("set-derating.json")).unwrap();
+        assert_eq!(table.num_nets(), summary.total_points);
+        assert!(!out.join("fdr.json").exists(), "SET session writes no FDR");
+        let first = std::fs::read(out.join("set-derating.json")).unwrap();
+
+        // Cache-served rerun is byte-identical.
+        let out2 = tmp_dir("set_run2");
+        let summary2 = run(
+            &request,
+            &out2,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert!(summary2.table_from_cache);
+        let second = std::fs::read(out2.join("set-derating.json")).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn seu_and_set_sessions_have_distinct_fingerprints() {
+        let seu = quick_request(None);
+        let mut set = quick_request(None);
+        set.fault = FaultKind::Set;
+        let out_seu = tmp_dir("fp_seu");
+        let out_set = tmp_dir("fp_set");
+        run(
+            &seu,
+            &out_seu,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        run(
+            &set,
+            &out_set,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        let a = CampaignManifest::load(&SessionPaths::new(&out_seu).manifest()).unwrap();
+        let b = CampaignManifest::load(&SessionPaths::new(&out_set).manifest()).unwrap();
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
     fn kill_and_resume_is_byte_identical() {
         // Uninterrupted reference run.
         let out_ref = tmp_dir("ref");
@@ -505,7 +728,7 @@ mod tests {
             &request,
             &out,
             &RunnerOptions {
-                stop_after_ffs: Some(2),
+                stop_after_points: Some(2),
                 threads: Some(2),
                 ..RunnerOptions::default()
             },
@@ -531,6 +754,49 @@ mod tests {
     }
 
     #[test]
+    fn set_kill_and_resume_is_byte_identical() {
+        let out_ref = tmp_dir("set_ref");
+        let mut request = quick_request(None);
+        request.fault = FaultKind::Set;
+        run(
+            &request,
+            &out_ref,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        let reference = std::fs::read(out_ref.join("set-derating.json")).unwrap();
+
+        let out = tmp_dir("set_killed");
+        let summary = run(
+            &request,
+            &out,
+            &RunnerOptions {
+                stop_after_points: Some(2),
+                threads: Some(2),
+                ..RunnerOptions::default()
+            },
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Cancelled);
+        assert!(!out.join("set-derating.json").exists());
+
+        let summary = resume(
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Complete);
+        let resumed = std::fs::read(out.join("set-derating.json")).unwrap();
+        assert_eq!(reference, resumed, "SET resume must be byte-identical");
+    }
+
+    #[test]
     fn mismatched_session_directory_is_refused() {
         let out = tmp_dir("mismatch");
         let request = quick_request(None);
@@ -538,7 +804,7 @@ mod tests {
             &request,
             &out,
             &RunnerOptions {
-                stop_after_ffs: Some(1),
+                stop_after_points: Some(1),
                 ..RunnerOptions::default()
             },
             &CancelToken::new(),
@@ -551,6 +817,20 @@ mod tests {
         other.seed = 999;
         let err = run(
             &other,
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("different campaign"), "{err}");
+
+        // A fault-model switch on the same directory is just as much a
+        // different campaign.
+        let mut set = quick_request(None);
+        set.fault = FaultKind::Set;
+        let err = run(
+            &set,
             &out,
             &RunnerOptions::default(),
             &CancelToken::new(),

@@ -56,6 +56,24 @@ pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// Probe the `version` field of a JSON document without deserializing
+/// the full structure.
+///
+/// Checkpoints and manifests from an older format version are missing
+/// fields the current structs require, so a plain `from_str` fails with
+/// an opaque missing-field error *before* the deserialized struct's
+/// version check could run. Probing first lets loaders report the real
+/// cause — an unsupported format version — instead.
+pub(crate) fn probe_version(text: &str) -> Option<u64> {
+    match serde_json::parse_value_complete(text)
+        .ok()?
+        .get("version")?
+    {
+        Value::U64(n) => Some(*n),
+        _ => None,
+    }
+}
+
 /// FNV-1a 64-bit hash (the store's fingerprint primitive — fast, stable,
 /// and dependency-free).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -108,6 +126,8 @@ pub enum ArtifactKind {
     GoldenRun,
     /// A serialized [`ffr_fault::FdrTable`].
     FdrTable,
+    /// A serialized [`ffr_fault::SetDeratingTable`].
+    SetTable,
     /// A serialized [`ffr_features::FeatureMatrix`].
     Features,
     /// A serialized [`ffr_core::ReferenceDataset`].
@@ -118,9 +138,10 @@ pub enum ArtifactKind {
 
 impl ArtifactKind {
     /// All kinds, for directory scans.
-    pub const ALL: [ArtifactKind; 5] = [
+    pub const ALL: [ArtifactKind; 6] = [
         ArtifactKind::GoldenRun,
         ArtifactKind::FdrTable,
+        ArtifactKind::SetTable,
         ArtifactKind::Features,
         ArtifactKind::Dataset,
         ArtifactKind::Report,
@@ -131,6 +152,7 @@ impl ArtifactKind {
         match self {
             ArtifactKind::GoldenRun => "golden-run",
             ArtifactKind::FdrTable => "fdr-table",
+            ArtifactKind::SetTable => "set-table",
             ArtifactKind::Features => "features",
             ArtifactKind::Dataset => "dataset",
             ArtifactKind::Report => "report",

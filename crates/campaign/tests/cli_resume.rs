@@ -52,6 +52,66 @@ fn campaign_args(out: &str, store: &str) -> Vec<String> {
     .collect()
 }
 
+/// Like [`campaign_args`] but for a SET campaign on a smaller probe
+/// circuit (SET targets every combinational net, so the point count is
+/// much larger per flip-flop of design).
+fn set_campaign_args(out: &str) -> Vec<String> {
+    [
+        "run",
+        "--circuit",
+        "lfsr:8:4",
+        "--fault",
+        "set",
+        "--out",
+        out,
+        "--cycles",
+        "1200",
+        "--injections",
+        "128",
+        "--checkpoint-every",
+        "1",
+        "--threads",
+        "1",
+        "--seed",
+        "99",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// Spawn the given `ffr run` invocation, SIGKILL it as soon as a
+/// checkpoint lands on disk, and resume to completion. Returns whether
+/// the kill actually landed mid-run.
+fn kill_when_checkpointed(args: &[String], out: &Path) -> bool {
+    let mut child = Command::new(FFR)
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ffr run");
+    let checkpoint = out.join("checkpoint.json");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut killed_mid_run = false;
+    loop {
+        if checkpoint.exists() {
+            // A checkpoint exists — kill the process hard, mid-campaign.
+            if child.try_wait().expect("try_wait").is_none() {
+                child.kill().expect("SIGKILL ffr");
+                killed_mid_run = true;
+            }
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            break; // finished before we could kill it
+        }
+        assert!(Instant::now() < deadline, "ffr run produced no checkpoint");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = child.wait();
+    killed_mid_run
+}
+
 #[test]
 fn sigkill_mid_campaign_resumes_byte_identical() {
     let base = std::env::temp_dir().join(format!("ffr_sigkill_test_{}", std::process::id()));
@@ -81,31 +141,7 @@ fn sigkill_mid_campaign_resumes_byte_identical() {
     let out = fresh_dir(&base, "victim");
     let out_s = out.to_string_lossy().into_owned();
     let args = campaign_args(&out_s, &store_s);
-    let mut child = Command::new(FFR)
-        .args(&args)
-        .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("spawn ffr run");
-    let checkpoint = out.join("checkpoint.json");
-    let deadline = Instant::now() + Duration::from_secs(120);
-    let mut killed_mid_run = false;
-    loop {
-        if checkpoint.exists() {
-            // A checkpoint exists — kill the process hard, mid-campaign.
-            if child.try_wait().expect("try_wait").is_none() {
-                child.kill().expect("SIGKILL ffr");
-                killed_mid_run = true;
-            }
-            break;
-        }
-        if child.try_wait().expect("try_wait").is_some() {
-            break; // finished before we could kill it
-        }
-        assert!(Instant::now() < deadline, "ffr run produced no checkpoint");
-        std::thread::sleep(Duration::from_millis(2));
-    }
-    let _ = child.wait();
+    let killed_mid_run = kill_when_checkpointed(&args, &out);
 
     if killed_mid_run {
         assert!(
@@ -142,6 +178,60 @@ fn sigkill_mid_campaign_resumes_byte_identical() {
     );
     let cached = std::fs::read(out2.join("fdr.json")).unwrap();
     assert_eq!(reference, cached);
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn sigkill_mid_set_campaign_resumes_byte_identical() {
+    let base = std::env::temp_dir().join(format!("ffr_set_sigkill_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    // Uninterrupted reference SET campaign.
+    let ref_out = fresh_dir(&base, "reference");
+    let output = ffr(&set_campaign_args(&ref_out.to_string_lossy())
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>());
+    assert!(
+        output.status.success(),
+        "reference SET run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let reference = std::fs::read(ref_out.join("set-derating.json")).unwrap();
+    let reference_csv = std::fs::read(ref_out.join("set-derating.csv")).unwrap();
+
+    // Victim run: SIGKILL as soon as the first checkpoint lands on disk.
+    let out = fresh_dir(&base, "victim");
+    let out_s = out.to_string_lossy().into_owned();
+    let args = set_campaign_args(&out_s);
+    let killed_mid_run = kill_when_checkpointed(&args, &out);
+
+    if killed_mid_run {
+        assert!(
+            !out.join("set-derating.json").exists(),
+            "killed run must not have produced a final table"
+        );
+        // Resume (possibly more than once if the kill landed before any
+        // retirement made it to disk).
+        for _ in 0..3 {
+            let output = ffr(&["resume", "--out", &out_s]);
+            if output.status.success() {
+                break;
+            }
+        }
+    }
+    let resumed = std::fs::read(out.join("set-derating.json")).expect("resumed table exists");
+    assert_eq!(
+        reference, resumed,
+        "resumed SET campaign must be byte-identical to the uninterrupted run"
+    );
+    let resumed_csv = std::fs::read(out.join("set-derating.csv")).unwrap();
+    assert_eq!(
+        reference_csv, resumed_csv,
+        "CSV rendering is also identical"
+    );
 
     let _ = std::fs::remove_dir_all(&base);
 }

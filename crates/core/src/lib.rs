@@ -24,18 +24,23 @@
 //! * [`model_learning_curve`] — Figs. 2b/3b/4b,
 //! * [`EstimationFlow`] — the production flow: inject a fraction, predict
 //!   the rest,
+//! * [`SoftErrorEstimate`] — fold the SEU estimates and a SET de-rating
+//!   table (from `ffr run --fault set`) into one circuit-level
+//!   functional failure rate,
 //! * [`savings`] — the 2–5× campaign-cost-reduction analysis.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod dataset;
+mod derating;
 mod flow;
 mod models;
 mod report;
 pub mod savings;
 
 pub use dataset::ReferenceDataset;
+pub use derating::{RawEventRates, SoftErrorEstimate};
 pub use flow::{Estimation, EstimationFlow, FdrEstimate, FlowConfig};
 pub use models::{DecisionTreeParams, KnnParams, ModelKind, SvrParams};
 pub use report::{

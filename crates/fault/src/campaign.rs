@@ -1,11 +1,21 @@
-//! The SEU fault-injection campaign engine.
+//! The unified fault-injection campaign engine.
+//!
+//! One batch-simulation loop serves both fault models behind
+//! [`InjectionPoint`]: SEUs flip a flip-flop's stored value before the
+//! combinational evaluation of the injection cycle; SETs XOR-force a
+//! combinational net for exactly that evaluation (via a pre-compiled
+//! [`ffr_sim::FaultSite`]). Checkpoint restart, 64-lane fault batching and
+//! the convergence early-exit are shared.
 
 use crate::judge::FailureJudge;
-use crate::model::FailureClass;
+use crate::model::{FailureClass, InjectionPoint};
 use crate::result::{FdrTable, FfCampaignResult};
 use crate::sampling::sample_injection_times;
-use ffr_netlist::FfId;
-use ffr_sim::{CompiledCircuit, GoldenRun, InputFrame, LaneView, OutputTrace, Stimulus, WatchList};
+use crate::set::{NetSetResult, SetDeratingTable};
+use ffr_netlist::{FfId, NetId};
+use ffr_sim::{
+    CompiledCircuit, FaultSite, GoldenRun, InputFrame, LaneView, OutputTrace, Stimulus, WatchList,
+};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -50,6 +60,15 @@ impl CampaignConfig {
         self.seed = seed;
         self
     }
+}
+
+/// An [`InjectionPoint`] resolved against the compiled circuit: SET
+/// targets carry their pre-compiled [`FaultSite`] so the per-cycle loop
+/// never re-resolves the net→driving-op lookup.
+#[derive(Clone, Copy)]
+enum CompiledPoint {
+    Seu(FfId),
+    Set(FaultSite),
 }
 
 /// A prepared fault-injection campaign: compiled circuit, stimulus, watch
@@ -126,25 +145,35 @@ where
 
     /// Inject the planned faults for one flip-flop and classify every run.
     pub fn run_ff(&self, ff: FfId, config: &CampaignConfig) -> FfCampaignResult {
+        FfCampaignResult::new(ff, self.run_planned(InjectionPoint::Seu(ff), config))
+    }
+
+    /// Inject the planned faults for one combinational net and classify
+    /// every run (the SET fault model).
+    pub fn run_net(&self, net: NetId, config: &CampaignConfig) -> NetSetResult {
+        NetSetResult::new(net, self.run_planned(InjectionPoint::Set(net), config))
+    }
+
+    /// Run the full planned campaign for one injection point.
+    fn run_planned(
+        &self,
+        point: InjectionPoint,
+        config: &CampaignConfig,
+    ) -> [usize; FailureClass::ALL.len()] {
         let times = sample_injection_times(
             config.seed,
-            ff.index() as u64,
+            point.stream(),
             config.window.clone(),
             config.injections_per_ff,
         );
-        FfCampaignResult::new(ff, self.run_ff_times(ff, &times, config))
+        self.run_point_times(point, &times, config)
     }
 
     /// Inject exactly the given fault times into one flip-flop and return
     /// the per-class tallies (indexed like [`FailureClass::ALL`]).
     ///
-    /// This is the resumable unit of campaign work: a caller that owns the
-    /// full injection plan (from [`sample_injection_times`]) can run any
-    /// slice of it, persist the accumulated tallies, and continue later —
-    /// the tallies of two slices simply add. Classification batches the
-    /// times into 64-lane groups internally, so slicing at multiples of 64
-    /// reproduces [`Campaign::run_ff`] exactly; tallies are
-    /// order-insensitive, so any slicing yields the same totals.
+    /// Equivalent to [`Campaign::run_point_times`] with
+    /// [`InjectionPoint::Seu`]; kept as the stable SEU entry point.
     ///
     /// [`sample_injection_times`]: crate::sample_injection_times
     pub fn run_ff_times(
@@ -153,9 +182,32 @@ where
         times: &[u64],
         config: &CampaignConfig,
     ) -> [usize; FailureClass::ALL.len()] {
+        self.run_point_times(InjectionPoint::Seu(ff), times, config)
+    }
+
+    /// Inject exactly the given fault times into one injection point and
+    /// return the per-class tallies (indexed like [`FailureClass::ALL`]).
+    ///
+    /// This is the resumable unit of campaign work for both fault models:
+    /// a caller that owns the full injection plan (from
+    /// [`sample_injection_times`] on [`InjectionPoint::stream`]) can run
+    /// any slice of it, persist the accumulated tallies, and continue
+    /// later — the tallies of two slices simply add. Classification
+    /// batches the times into 64-lane groups internally, so slicing at
+    /// multiples of 64 reproduces the one-shot run exactly; tallies are
+    /// order-insensitive, so any slicing yields the same totals.
+    ///
+    /// [`sample_injection_times`]: crate::sample_injection_times
+    pub fn run_point_times(
+        &self,
+        point: InjectionPoint,
+        times: &[u64],
+        config: &CampaignConfig,
+    ) -> [usize; FailureClass::ALL.len()] {
+        let compiled = self.compile_point(point);
         let mut class_counts = [0usize; FailureClass::ALL.len()];
         for chunk in times.chunks(64) {
-            let (trace, converged_at) = self.simulate_batch(ff, chunk, config);
+            let (trace, converged_at) = self.simulate_batch(compiled, chunk, config);
             let golden_view = LaneView::golden(&self.golden.trace);
             for (lane, &inject_cycle) in chunk.iter().enumerate() {
                 let view = LaneView::faulty(&self.golden.trace, &trace, lane, converged_at[lane]);
@@ -166,12 +218,22 @@ where
         class_counts
     }
 
-    /// Simulate up to 64 injections into `ff` (one per lane), returning the
-    /// faulty output trace and, per lane, the cycle from which the state
-    /// provably equals golden again (`None` if it never re-converged).
+    /// Resolve an injection point against the compiled circuit once, so
+    /// the per-batch loop pays no per-call lookup.
+    fn compile_point(&self, point: InjectionPoint) -> CompiledPoint {
+        match point {
+            InjectionPoint::Seu(ff) => CompiledPoint::Seu(ff),
+            InjectionPoint::Set(net) => CompiledPoint::Set(self.cc.fault_site(net)),
+        }
+    }
+
+    /// Simulate up to 64 injections into one point (one per lane),
+    /// returning the faulty output trace and, per lane, the cycle from
+    /// which the state provably equals golden again (`None` if it never
+    /// re-converged).
     fn simulate_batch(
         &self,
-        ff: FfId,
+        point: CompiledPoint,
         times: &[u64],
         config: &CampaignConfig,
     ) -> (OutputTrace, Vec<Option<u64>>) {
@@ -189,7 +251,7 @@ where
         } else {
             (1u64 << times.len()) - 1
         };
-        let mut pending = active; // lanes whose flip has not happened yet
+        let mut pending = active; // lanes whose fault has not happened yet
         let mut converged = 0u64; // lanes whose state returned to golden
         let mut converged_at: Vec<Option<u64>> = vec![None; times.len()];
 
@@ -198,24 +260,39 @@ where
             self.stimulus.drive(cycle, &mut frame);
             frame.apply(self.cc, &mut state);
 
-            // Apply SEUs scheduled for this cycle (flip the state the
-            // cycle starts with, before combinational evaluation).
-            let mut flip_mask = 0u64;
+            // Lanes whose injection is scheduled for this cycle.
+            let mut fault_mask = 0u64;
             for (lane, &t) in times.iter().enumerate() {
                 if t == cycle {
-                    flip_mask |= 1u64 << lane;
+                    fault_mask |= 1u64 << lane;
                 }
             }
-            if flip_mask != 0 {
-                state.flip_ff(self.cc, ff, flip_mask);
-                pending &= !flip_mask;
-                // A lane that flips is no longer converged (relevant when
-                // the flip lands after an earlier convergence — impossible
-                // with one flip per lane, but kept for robustness).
-                converged &= !flip_mask;
+            if fault_mask != 0 {
+                pending &= !fault_mask;
+                // A faulted lane is no longer converged (relevant when
+                // the fault lands after an earlier convergence —
+                // impossible with one fault per lane, but kept for
+                // robustness).
+                converged &= !fault_mask;
             }
-
-            state.eval(self.cc);
+            match point {
+                // SEU: flip the state the cycle starts with, before
+                // combinational evaluation.
+                CompiledPoint::Seu(ff) => {
+                    if fault_mask != 0 {
+                        state.flip_ff(self.cc, ff, fault_mask);
+                    }
+                    state.eval(self.cc);
+                }
+                // SET: XOR-force the net for exactly this evaluation.
+                CompiledPoint::Set(site) => {
+                    if fault_mask != 0 {
+                        state.eval_forced_site(self.cc, site, fault_mask);
+                    } else {
+                        state.eval(self.cc);
+                    }
+                }
+            }
             trace.record(self.cc, self.watch, &state);
             state.tick(self.cc);
 
@@ -276,6 +353,29 @@ where
             })
             .collect();
         FdrTable::from_results(self.cc.num_ffs(), results, config.injections_per_ff)
+    }
+
+    /// Run a flat SET campaign over the given nets (typically
+    /// [`CompiledCircuit::comb_output_nets`]), in parallel, with a
+    /// progress callback `(done, total)`.
+    pub fn run_set_parallel(
+        &self,
+        nets: &[NetId],
+        config: &CampaignConfig,
+        progress: impl Fn(usize, usize) + Sync,
+    ) -> SetDeratingTable {
+        let done = AtomicUsize::new(0);
+        let total = nets.len();
+        let results: Vec<NetSetResult> = nets
+            .par_iter()
+            .map(|&net| {
+                let r = self.run_net(net, config);
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                progress(d, total);
+                r
+            })
+            .collect();
+        SetDeratingTable::from_results(results, config.injections_per_ff)
     }
 
     fn all_ffs(&self) -> impl Iterator<Item = FfId> {

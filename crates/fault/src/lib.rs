@@ -7,7 +7,11 @@
 //! **benign** by a circuit-specific [`FailureJudge`], and the per-flip-flop
 //! **Functional De-Rating factor** is the failure fraction.
 //!
-//! The engine is heavily optimised compared to a naive re-simulation:
+//! Both fault models of the paper's background section run through **one
+//! unified engine** keyed by [`InjectionPoint`]: `Seu(FfId)` flips a
+//! flip-flop's stored value, `Set(NetId)` XOR-forces a combinational net
+//! for a single evaluation (latched or logically de-rated away). The
+//! engine is heavily optimised compared to a naive re-simulation:
 //!
 //! * **64 fault scenarios per simulation** — each lane of the bit-parallel
 //!   simulator carries one injection time (PROOFS-style fault batching),
@@ -16,11 +20,10 @@
 //! * **early convergence exit** — once every lane's flip-flop state has
 //!   returned to the golden state, the remaining cycles are provably
 //!   identical and are skipped,
-//! * **parallel campaign** — flip-flops are distributed over threads with
-//!   rayon.
-//!
-//! [`SetCampaign`](crate::set::SetCampaign) additionally implements the
-//! Single-Event *Transient* model on combinational nets as an extension.
+//! * **compiled fault sites** — SET targets resolve their net→driving-op
+//!   lookup once ([`ffr_sim::FaultSite`]) instead of per evaluation,
+//! * **parallel campaign** — injection points are distributed over
+//!   threads with rayon.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod set;
 
 pub use campaign::{Campaign, CampaignConfig};
 pub use judge::{FailureJudge, OutputMismatchJudge};
-pub use model::{FailureClass, Fault, FaultKind};
-pub use result::{failures_in, FdrHistogram, FdrTable, FfCampaignResult};
+pub use model::{FailureClass, Fault, FaultKind, InjectionPoint};
+pub use result::{failure_fraction, failures_in, FdrHistogram, FdrTable, FfCampaignResult};
 pub use sampling::{required_sample_size, sample_injection_times, wilson_interval};
+pub use set::{NetSetResult, SetDeratingTable};

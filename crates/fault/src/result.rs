@@ -46,12 +46,22 @@ impl FfCampaignResult {
 
     /// The Functional De-Rating factor: failures / injections.
     pub fn fdr(&self) -> f64 {
-        let n = self.injections();
-        if n == 0 {
-            0.0
-        } else {
-            self.failures() as f64 / n as f64
-        }
+        failure_fraction(self.failures(), self.injections())
+    }
+}
+
+/// Failure fraction of a tally: `failures / injections`, defined as 0 for
+/// an empty tally.
+///
+/// This is the single definition of the de-rating division — the SEU
+/// per-flip-flop FDR ([`FfCampaignResult::fdr`]) and the SET per-net
+/// de-rating factor ([`crate::NetSetResult::derating`]) are both this
+/// fraction, and both need the same division-by-zero guard.
+pub fn failure_fraction(failures: usize, injections: usize) -> f64 {
+    if injections == 0 {
+        0.0
+    } else {
+        failures as f64 / injections as f64
     }
 }
 

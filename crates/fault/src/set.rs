@@ -1,163 +1,198 @@
-//! Single-Event Transient (SET) injection on combinational nets.
+//! Single-Event Transient (SET) campaign results on combinational nets.
 //!
 //! The paper's background section (§II-A) describes SETs — transients on
-//! combinational gate outputs that only matter if they are latched. This
-//! module extends the campaign engine to that model: a chosen net is
-//! XOR-forced for exactly one evaluation, after which the disturbance only
-//! persists through whatever flip-flops captured it.
-//!
-//! SET campaigns are an *extension* relative to the paper's evaluation
-//! (which injects SEUs into flip-flops) and power the workspace's
-//! logical-de-rating ablation experiments.
+//! combinational gate outputs that only matter if they are latched. The
+//! *injection* of SETs lives in the unified campaign engine
+//! ([`Campaign::run_net`](crate::Campaign::run_net) /
+//! [`Campaign::run_point_times`](crate::Campaign::run_point_times) with
+//! [`InjectionPoint::Set`](crate::InjectionPoint::Set)); this module holds
+//! the per-net and per-circuit result types — the logical de-rating
+//! tables that power the workspace's SET ablation experiments.
 
-use crate::judge::FailureJudge;
 use crate::model::FailureClass;
+use crate::result::failure_fraction;
 use ffr_netlist::NetId;
-use ffr_sim::{CompiledCircuit, GoldenRun, InputFrame, LaneView, OutputTrace, Stimulus, WatchList};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
 
-/// Result of a SET campaign on one net.
-#[derive(Debug, Clone, PartialEq)]
+/// Tallied outcome of all SET injections into one net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetSetResult {
-    /// Target net.
-    pub net: NetId,
-    /// Number of injections.
-    pub injections: usize,
-    /// Number of functional failures.
-    pub failures: usize,
+    net: NetId,
+    class_counts: Vec<usize>,
 }
 
 impl NetSetResult {
-    /// Failure fraction for this net (the SET-level de-rating factor).
-    pub fn derating(&self) -> f64 {
-        if self.injections == 0 {
-            0.0
-        } else {
-            self.failures as f64 / self.injections as f64
-        }
-    }
-}
-
-/// SET injection campaign over combinational nets.
-///
-/// Unlike the SEU engine this one runs one scenario per batch per lane with
-/// the same convergence early-exit; transients die out fast (often within a
-/// cycle when not latched), so batches converge almost immediately.
-pub struct SetCampaign<'a, S, J> {
-    cc: &'a CompiledCircuit,
-    stimulus: &'a S,
-    watch: &'a WatchList,
-    judge: &'a J,
-    golden: &'a GoldenRun,
-}
-
-impl<'a, S, J> SetCampaign<'a, S, J>
-where
-    S: Stimulus + Sync,
-    J: FailureJudge,
-{
-    /// Prepare a SET campaign reusing an existing golden run.
-    pub fn new(
-        cc: &'a CompiledCircuit,
-        stimulus: &'a S,
-        watch: &'a WatchList,
-        judge: &'a J,
-        golden: &'a GoldenRun,
-    ) -> SetCampaign<'a, S, J> {
-        SetCampaign {
-            cc,
-            stimulus,
-            watch,
-            judge,
-            golden,
-        }
-    }
-
-    /// Inject one SET per listed cycle into `net` and tally failures.
-    pub fn run_net(&self, net: NetId, times: &[u64]) -> NetSetResult {
-        let mut failures = 0usize;
-        for chunk in times.chunks(64) {
-            let (trace, converged_at) = self.simulate_batch(net, chunk);
-            let golden_view = LaneView::golden(&self.golden.trace);
-            for (lane, &t) in chunk.iter().enumerate() {
-                let view = LaneView::faulty(&self.golden.trace, &trace, lane, converged_at[lane]);
-                let class = self.judge.classify(&golden_view, &view, t);
-                if class != FailureClass::Benign {
-                    failures += 1;
-                }
-            }
-        }
+    /// Build a result from the per-class tallies (indexed like
+    /// [`FailureClass::ALL`]).
+    pub fn new(net: NetId, class_counts: [usize; FailureClass::ALL.len()]) -> NetSetResult {
         NetSetResult {
             net,
-            injections: times.len(),
-            failures,
+            class_counts: class_counts.to_vec(),
         }
     }
 
-    fn simulate_batch(&self, net: NetId, times: &[u64]) -> (OutputTrace, Vec<Option<u64>>) {
-        debug_assert!(!times.is_empty() && times.len() <= 64);
-        let end = self.stimulus.num_cycles();
-        let t0 = *times.iter().min().expect("non-empty batch");
-        let mut state = self.golden.restore(self.cc, t0);
-        let mut frame = InputFrame::new(self.cc.num_inputs());
-        let mut trace = OutputTrace::new(t0, end, self.watch.len());
+    /// Target net.
+    pub fn net(&self) -> NetId {
+        self.net
+    }
 
-        let active: u64 = if times.len() == 64 {
-            !0
-        } else {
-            (1u64 << times.len()) - 1
-        };
-        let mut pending = active;
-        let mut converged = 0u64;
-        let mut converged_at: Vec<Option<u64>> = vec![None; times.len()];
+    /// Total injections performed.
+    pub fn injections(&self) -> usize {
+        self.class_counts.iter().sum()
+    }
 
-        for cycle in t0..end {
-            frame.clear();
-            self.stimulus.drive(cycle, &mut frame);
-            frame.apply(self.cc, &mut state);
+    /// Injections classified as functional failures.
+    pub fn failures(&self) -> usize {
+        crate::result::failures_in(&self.class_counts)
+    }
 
-            let mut mask = 0u64;
-            for (lane, &t) in times.iter().enumerate() {
-                if t == cycle {
-                    mask |= 1u64 << lane;
-                }
-            }
-            if mask != 0 {
-                state.eval_forced(self.cc, net, mask);
-                pending &= !mask;
-            } else {
-                state.eval(self.cc);
-            }
-            trace.record(self.cc, self.watch, &state);
-            state.tick(self.cc);
+    /// Tally for one class.
+    pub fn count(&self, class: FailureClass) -> usize {
+        self.class_counts[class.tally_index()]
+    }
 
-            if pending == 0 {
-                let next = cycle + 1;
-                if next < end {
-                    let diff = state.diff_lanes(self.cc, self.golden.journal.state_at(next));
-                    let newly = active & !diff & !converged;
-                    if newly != 0 {
-                        for (lane, at) in converged_at.iter_mut().enumerate() {
-                            if newly & (1u64 << lane) != 0 {
-                                *at = Some(next);
-                            }
-                        }
-                        converged |= newly;
-                    }
-                    if converged == active {
-                        break;
-                    }
-                }
-            }
+    /// Failure fraction for this net (the SET-level de-rating factor) —
+    /// the same guarded division as the SEU
+    /// [`FfCampaignResult::fdr`](crate::FfCampaignResult::fdr).
+    pub fn derating(&self) -> f64 {
+        failure_fraction(self.failures(), self.injections())
+    }
+}
+
+/// Per-net SET de-rating factors of a (possibly partial) campaign — the
+/// SET analogue of the SEU [`FdrTable`](crate::FdrTable).
+///
+/// Unlike flip-flops, targeted nets are sparse in net-id space (only
+/// combinational op outputs are SET targets), so the table stores the
+/// covered results sorted by net id instead of a dense vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetDeratingTable {
+    results: Vec<NetSetResult>,
+    injections_per_net: usize,
+}
+
+impl SetDeratingTable {
+    /// Assemble a table from individual net results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two results target the same net.
+    pub fn from_results(
+        mut results: Vec<NetSetResult>,
+        injections_per_net: usize,
+    ) -> SetDeratingTable {
+        results.sort_unstable_by_key(|r| r.net().index());
+        for pair in results.windows(2) {
+            assert!(
+                pair[0].net() != pair[1].net(),
+                "duplicate result for net {}",
+                pair[0].net()
+            );
         }
-        (trace, converged_at)
+        SetDeratingTable {
+            results,
+            injections_per_net,
+        }
+    }
+
+    /// Configured injections per net.
+    pub fn injections_per_net(&self) -> usize {
+        self.injections_per_net
+    }
+
+    /// Number of covered nets.
+    pub fn num_nets(&self) -> usize {
+        self.results.len()
+    }
+
+    /// De-rating factor of one net, if it was covered.
+    pub fn derating(&self, net: NetId) -> Option<f64> {
+        self.result(net).map(|r| r.derating())
+    }
+
+    /// Full result record of one net, if covered.
+    pub fn result(&self, net: NetId) -> Option<&NetSetResult> {
+        self.results
+            .binary_search_by_key(&net.index(), |r| r.net().index())
+            .ok()
+            .map(|i| &self.results[i])
+    }
+
+    /// Iterate over covered nets, ascending by net id.
+    pub fn covered(&self) -> impl Iterator<Item = &NetSetResult> {
+        self.results.iter()
+    }
+
+    /// Average de-rating over covered nets — the circuit-level SET
+    /// logical de-rating (assuming a uniform raw SET rate per net).
+    pub fn circuit_derating(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.results.iter().map(|r| r.derating()).sum();
+        sum / self.results.len() as f64
+    }
+
+    /// Total per-class tallies over covered nets.
+    pub fn class_totals(&self) -> Vec<(FailureClass, usize)> {
+        FailureClass::ALL
+            .iter()
+            .map(|&c| (c, self.covered().map(|r| r.count(c)).sum()))
+            .collect()
+    }
+
+    /// Histogram of de-rating values over covered nets.
+    pub fn histogram(&self, bins: usize) -> crate::FdrHistogram {
+        crate::FdrHistogram::of(self.covered().map(|r| r.derating()), bins)
+    }
+
+    /// Render the table as CSV (`net,injections,failures,derating`).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("net,injections,failures,derating\n");
+        for r in self.covered() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.6}",
+                r.net(),
+                r.injections(),
+                r.failures(),
+                r.derating()
+            );
+        }
+        out
+    }
+
+    /// Serialize the table to pretty JSON at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization failures.
+    pub fn save_json(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a table previously written by [`SetDeratingTable::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization failures.
+    pub fn load_json(path: &Path) -> io::Result<SetDeratingTable> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(io::Error::other)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::campaign::{Campaign, CampaignConfig};
     use crate::judge::OutputMismatchJudge;
     use ffr_netlist::NetlistBuilder;
+    use ffr_sim::{CompiledCircuit, InputFrame, Stimulus, WatchList};
 
     struct AlwaysOn(u64);
 
@@ -173,7 +208,7 @@ mod tests {
 
     /// Counter whose increment logic we can disturb, plus a masked branch
     /// where transients are logically de-rated away.
-    fn circuit() -> (CompiledCircuit, NetId, NetId) {
+    fn circuit() -> (CompiledCircuit, ffr_netlist::NetId, ffr_netlist::NetId) {
         let mut b = NetlistBuilder::new("set_probe");
         let en = b.input("en", 1);
         let r = b.reg("count", 4);
@@ -197,13 +232,12 @@ mod tests {
         let watch = WatchList::all(&cc);
         let judge = OutputMismatchJudge::new();
         let stim = AlwaysOn(60);
-        let golden = GoldenRun::capture(&cc, &stim, &watch);
-        let campaign = SetCampaign::new(&cc, &stim, &watch, &judge, &golden);
+        let campaign = Campaign::new(&cc, &stim, &watch, &judge);
+        let config = CampaignConfig::new(5..35).with_injections(30).with_seed(9);
 
-        let times: Vec<u64> = (5..35).collect();
         // Transient on the increment output lands in the counter and is
         // visible at the outputs (the counter value jumps permanently).
-        let live = campaign.run_net(datapath_net, &times);
+        let live = campaign.run_net(datapath_net, &config);
         assert!(
             live.derating() > 0.9,
             "datapath SET should fail: {}",
@@ -211,9 +245,62 @@ mod tests {
         );
         // Transient on the masked parity net is logically de-rated: the
         // AND with 0 blocks it and nothing latches it.
-        let masked = campaign.run_net(masked_net, &times);
-        assert_eq!(masked.failures, 0, "masked SET must be benign");
-        assert_eq!(masked.injections, times.len());
+        let masked = campaign.run_net(masked_net, &config);
+        assert_eq!(masked.failures(), 0, "masked SET must be benign");
+        assert_eq!(masked.injections(), 30);
         assert_eq!(masked.derating(), 0.0);
+    }
+
+    #[test]
+    fn set_table_over_all_comb_nets() {
+        let (cc, datapath_net, masked_net) = circuit();
+        let watch = WatchList::all(&cc);
+        let judge = OutputMismatchJudge::new();
+        let stim = AlwaysOn(60);
+        let campaign = Campaign::new(&cc, &stim, &watch, &judge);
+        let config = CampaignConfig::new(5..35).with_injections(16).with_seed(2);
+
+        let nets = cc.comb_output_nets();
+        assert!(nets.contains(&datapath_net) && nets.contains(&masked_net));
+        let table = campaign.run_set_parallel(&nets, &config, |_, _| {});
+        assert_eq!(table.num_nets(), nets.len());
+        assert_eq!(table.injections_per_net(), 16);
+        assert_eq!(table.derating(masked_net), Some(0.0));
+        assert!(table.derating(datapath_net).unwrap() > 0.9);
+        let c = table.circuit_derating();
+        assert!(c > 0.0 && c < 1.0, "mixed population: {c}");
+
+        // CSV and JSON round trips.
+        let csv = table.to_csv();
+        assert!(csv.starts_with("net,injections,failures,derating"));
+        assert_eq!(csv.lines().count(), nets.len() + 1);
+        let dir = std::env::temp_dir().join(format!("ffr_set_table_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("set.json");
+        table.save_json(&path).unwrap();
+        assert_eq!(SetDeratingTable::load_json(&path).unwrap(), table);
+    }
+
+    #[test]
+    fn derating_shares_the_guarded_division() {
+        let empty = NetSetResult::new(
+            ffr_netlist::NetId::from_index(0),
+            [0; FailureClass::ALL.len()],
+        );
+        assert_eq!(empty.derating(), 0.0, "division-by-zero guard");
+        assert_eq!(failure_fraction(0, 0), 0.0);
+        assert_eq!(failure_fraction(3, 12), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate result")]
+    fn duplicate_net_panics() {
+        let r = |n| {
+            NetSetResult::new(
+                ffr_netlist::NetId::from_index(n),
+                [0; FailureClass::ALL.len()],
+            )
+        };
+        let _ = SetDeratingTable::from_results(vec![r(3), r(3)], 4);
     }
 }

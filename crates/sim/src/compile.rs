@@ -40,6 +40,40 @@ pub(crate) struct Op {
     pub out: u32,
 }
 
+/// Sentinel in the net→driver index for nets without a combinational
+/// driver (primary inputs, flip-flop outputs, constants).
+const NO_DRIVER: u32 = u32::MAX;
+
+/// A compiled injection site: one net, resolved against the op list once.
+///
+/// Forcing a transient onto a net needs to know whether the net is driven
+/// by a combinational op (flip *at* that op, in topological position) or
+/// is a source net (flip the stored value before evaluation). Resolving
+/// this used to cost an `O(num_ops)` scan per
+/// [`SimState::eval_forced`](crate::SimState::eval_forced) call; a
+/// `FaultSite` carries the answer, compiled once per target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Index of the forced net in the flat value array.
+    pub(crate) target: u32,
+    /// Index of the driving op in [`CompiledCircuit::ops`], or `None` for
+    /// source nets (primary inputs, flip-flop outputs).
+    pub(crate) driver: Option<u32>,
+}
+
+impl FaultSite {
+    /// The forced net.
+    pub fn net(&self) -> NetId {
+        NetId::from_index(self.target as usize)
+    }
+
+    /// `true` if the net is driven by a combinational op (a gate-output
+    /// SET); `false` for source nets.
+    pub fn has_comb_driver(&self) -> bool {
+        self.driver.is_some()
+    }
+}
+
 /// A netlist compiled for fast cycle-based evaluation.
 ///
 /// The compiled form owns the netlist it was built from — simulation,
@@ -55,6 +89,10 @@ pub struct CompiledCircuit {
     pub(crate) ff_q: Vec<u32>,
     pub(crate) ff_d: Vec<u32>,
     pub(crate) ff_init: Vec<bool>,
+    /// For each net, the index of the op driving it (`NO_DRIVER` for
+    /// source nets) — the compiled net→driving-op index behind
+    /// [`CompiledCircuit::fault_site`].
+    net_driver: Vec<u32>,
     levels: Vec<u32>,
     max_level: u32,
 }
@@ -99,6 +137,7 @@ impl CompiledCircuit {
         }
 
         let mut ops = Vec::with_capacity(comb_count);
+        let mut net_driver = vec![NO_DRIVER; num_nets];
         let mut max_level = 0u32;
         let mut head = 0usize;
         while head < queue.len() {
@@ -107,6 +146,7 @@ impl CompiledCircuit {
             let cell = netlist.cell(ffr_netlist::CellId::from_index(cell_idx));
             let ins = cell.inputs();
             let get = |i: usize| ins.get(i).map(|n| n.index() as u32).unwrap_or(0);
+            net_driver[cell.output().index()] = ops.len() as u32;
             ops.push(Op {
                 kind: cell.kind(),
                 a: get(0),
@@ -171,9 +211,34 @@ impl CompiledCircuit {
             ff_q,
             ff_d,
             ff_init,
+            net_driver,
             levels,
             max_level,
         })
+    }
+
+    /// Compile a net into a [`FaultSite`] ready for repeated
+    /// [`SimState::eval_forced_site`](crate::SimState::eval_forced_site)
+    /// calls.
+    pub fn fault_site(&self, net: NetId) -> FaultSite {
+        let target = net.index() as u32;
+        let driver = match self.net_driver[net.index()] {
+            NO_DRIVER => None,
+            op => Some(op),
+        };
+        FaultSite { target, driver }
+    }
+
+    /// Every net driven by a combinational op, ascending by net index —
+    /// the canonical SET-campaign target list.
+    pub fn comb_output_nets(&self) -> Vec<NetId> {
+        let mut nets: Vec<NetId> = self
+            .ops
+            .iter()
+            .map(|op| NetId::from_index(op.out as usize))
+            .collect();
+        nets.sort_unstable_by_key(|n| n.index());
+        nets
     }
 
     /// The netlist this circuit was compiled from.

@@ -57,8 +57,11 @@ impl SimState {
     /// Evaluate all combinational logic for the current inputs and
     /// flip-flop state.
     pub fn eval(&mut self, cc: &CompiledCircuit) {
-        let v = &mut self.values;
-        for op in &cc.ops {
+        Self::eval_ops(&mut self.values, &cc.ops);
+    }
+
+    fn eval_ops(v: &mut [u64], ops: &[crate::compile::Op]) {
+        for op in ops {
             let a = v[op.a as usize];
             let b = v[op.b as usize];
             let c = v[op.c as usize];
@@ -69,25 +72,44 @@ impl SimState {
     /// Evaluate combinational logic while forcing a transient XOR onto one
     /// net (a Single-Event Transient on the driving gate's output).
     ///
+    /// Convenience wrapper that compiles the net into a
+    /// [`FaultSite`](crate::FaultSite) first; campaigns that force the
+    /// same net repeatedly should compile once with
+    /// [`CompiledCircuit::fault_site`] and call
+    /// [`SimState::eval_forced_site`].
+    pub fn eval_forced(&mut self, cc: &CompiledCircuit, net: ffr_netlist::NetId, mask: u64) {
+        self.eval_forced_site(cc, cc.fault_site(net), mask)
+    }
+
+    /// Evaluate combinational logic while forcing a transient XOR onto a
+    /// pre-compiled [`FaultSite`](crate::FaultSite).
+    ///
     /// The flip is applied in topological position, so downstream logic in
     /// the same cycle observes the disturbed value; the effect lasts for
-    /// this evaluation only.
-    pub fn eval_forced(&mut self, cc: &CompiledCircuit, net: ffr_netlist::NetId, mask: u64) {
-        let target = net.index() as u32;
+    /// this evaluation only. The op list is split at the forced op, so the
+    /// evaluation runs at full [`SimState::eval`] speed on both sides of
+    /// the split instead of testing every op against the target.
+    pub fn eval_forced_site(&mut self, cc: &CompiledCircuit, site: crate::FaultSite, mask: u64) {
         let v = &mut self.values;
-        // A forced primary input / FF output is flipped before the ops run.
-        if !cc.ops.iter().any(|op| op.out == target) {
-            v[target as usize] ^= mask;
-        }
-        for op in &cc.ops {
-            let a = v[op.a as usize];
-            let b = v[op.b as usize];
-            let c = v[op.c as usize];
-            let mut out = op.kind.eval(a, b, c);
-            if op.out == target {
-                out ^= mask;
+        match site.driver {
+            // A forced primary input / FF output is flipped before the ops
+            // run (the flip persists until the driver overwrites it: the
+            // next input frame or clock edge).
+            None => {
+                v[site.target as usize] ^= mask;
+                Self::eval_ops(v, &cc.ops);
             }
-            v[op.out as usize] = out;
+            Some(driver) => {
+                let driver = driver as usize;
+                let (before, rest) = cc.ops.split_at(driver);
+                Self::eval_ops(v, before);
+                let op = &rest[0];
+                let a = v[op.a as usize];
+                let b = v[op.b as usize];
+                let c = v[op.c as usize];
+                v[op.out as usize] = op.kind.eval(a, b, c) ^ mask;
+                Self::eval_ops(v, &rest[1..]);
+            }
         }
     }
 

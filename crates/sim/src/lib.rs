@@ -28,7 +28,7 @@ mod testbench;
 pub mod vcd;
 
 pub use activity::ActivityTrace;
-pub use compile::{CompiledCircuit, SimError};
+pub use compile::{CompiledCircuit, FaultSite, SimError};
 pub use engine::SimState;
 pub use golden::{Checkpoint, GoldenRun, StateJournal};
 pub use testbench::{

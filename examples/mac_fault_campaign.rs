@@ -10,7 +10,7 @@ use ffr_campaign::{
     RunnerOptions,
 };
 use ffr_circuits::{Mac10geConfig, MacJudge, MacTestbench, TrafficConfig};
-use ffr_fault::{Campaign, FailureClass};
+use ffr_fault::{Campaign, FailureClass, FaultKind};
 use ffr_sim::GoldenRun;
 
 fn main() {
@@ -33,9 +33,10 @@ fn main() {
     // Adaptive policy: 40–120 injections per flip-flop, retiring each one
     // as soon as its 95 % Wilson interval half-width reaches 0.08.
     let window = tb.injection_window();
-    let mut checkpoint = CampaignCheckpoint::fresh(
+    let mut checkpoint = CampaignCheckpoint::fresh_seu(
         "example".into(),
         CheckpointParams {
+            fault: FaultKind::Seu,
             seed: 7,
             window_start: window.start,
             window_end: window.end,
@@ -51,7 +52,7 @@ fn main() {
         &campaign,
         &mut checkpoint,
         &RunnerOptions {
-            stop_after_ffs: Some(cc.num_ffs() / 2),
+            stop_after_points: Some(cc.num_ffs() / 2),
             ..RunnerOptions::default()
         },
         &CancelToken::new(),
@@ -62,8 +63,8 @@ fn main() {
     assert_eq!(outcome, RunOutcome::Cancelled);
     println!(
         "\ninterrupted after {}/{} flip-flops ({} injections so far) — resuming from {}",
-        checkpoint.completed_ffs(),
-        checkpoint.num_ffs,
+        checkpoint.completed_points(),
+        checkpoint.num_points,
         checkpoint.total_injections(),
         checkpoint_path.display()
     );

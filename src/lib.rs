@@ -8,7 +8,7 @@
 //! * [`ffr_netlist`] — gate-level netlist substrate,
 //! * [`ffr_sim`] — levelized bit-parallel logic simulator,
 //! * [`ffr_circuits`] — the 10GE-MAC-like circuit and component library,
-//! * [`ffr_fault`] — statistical SEU fault-injection engine,
+//! * [`ffr_fault`] — unified statistical SEU/SET fault-injection engine,
 //! * [`ffr_features`] — per-flip-flop feature extraction,
 //! * [`ffr_ml`] — from-scratch supervised regression library,
 //! * [`ffr_core`] — the DSN 2019 estimation methodology,

@@ -160,16 +160,16 @@ fn set_derating_never_exceeds_seu_on_latch_input() {
     let stim = AlwaysOn(80);
     let watch = WatchList::by_names(&cc, &["v[0]", "v[1]", "v[2]", "v[3]"]);
     let judge = OutputMismatchJudge::new();
-    let golden = GoldenRun::capture(&cc, &stim, &watch);
     let times: Vec<u64> = (10..60).collect();
 
-    let seu_campaign = Campaign::new(&cc, &stim, &watch, &judge);
+    let campaign = Campaign::new(&cc, &stim, &watch, &judge);
     let config = CampaignConfig::new(10..60).with_injections(50).with_seed(1);
-    let seu = seu_campaign.run_ff(FfId::from_index(0), &config);
+    let seu = campaign.run_ff(FfId::from_index(0), &config);
 
-    let set_campaign = ffr_fault::set::SetCampaign::new(&cc, &stim, &watch, &judge, &golden);
+    // Same unified engine, SET fault model, explicit per-cycle plan.
     let d = cc.netlist().ff_d_net(FfId::from_index(0));
-    let set = set_campaign.run_net(d, &times);
+    let counts = campaign.run_point_times(ffr_fault::InjectionPoint::Set(d), &times, &config);
+    let set = ffr_fault::NetSetResult::new(d, counts);
 
     assert!(
         set.derating() <= seu.fdr() + 0.2,
