@@ -162,12 +162,28 @@ impl CampaignCheckpoint {
         self.points.iter().all(|p| p.complete)
     }
 
-    /// Assemble the final FDR table from a completed SEU campaign.
+    /// Assemble the final FDR table from a completed SEU campaign that
+    /// covered every flip-flop of the circuit.
     ///
     /// # Panics
     ///
     /// Panics if the campaign is not complete or not an SEU campaign.
     pub fn to_fdr_table(&self) -> FdrTable {
+        self.to_fdr_table_for(self.num_points)
+    }
+
+    /// Assemble the FDR table of a completed SEU campaign over a circuit
+    /// with `num_ffs` flip-flops. For budgeted campaigns the checkpoint
+    /// covers only a measured subset, so `num_ffs` exceeds
+    /// [`CampaignCheckpoint::num_points`] and the table reports the
+    /// unmeasured flip-flops as uncovered (`fdr() == None`) — exactly the
+    /// partial table `ffr estimate` trains on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign is not complete, not an SEU campaign, or a
+    /// point id is out of range for `num_ffs`.
+    pub fn to_fdr_table_for(&self, num_ffs: usize) -> FdrTable {
         assert_eq!(
             self.params.fault,
             FaultKind::Seu,
@@ -186,7 +202,7 @@ impl CampaignCheckpoint {
                 FfCampaignResult::new(FfId::from_index(p.point as usize), counts)
             })
             .collect();
-        FdrTable::from_results(self.num_points, results, self.params.policy.max_injections)
+        FdrTable::from_results(num_ffs, results, self.params.policy.max_injections)
     }
 
     /// Assemble the final de-rating table from a completed SET campaign.
@@ -355,6 +371,24 @@ mod tests {
         assert_eq!(table.num_nets(), 2);
         assert_eq!(table.derating(NetId::from_index(3)), Some(0.5));
         assert_eq!(table.derating(NetId::from_index(5)), None);
+    }
+
+    #[test]
+    fn partial_fdr_table_reports_unmeasured_ffs_uncovered() {
+        // A budgeted campaign measured FFs 1 and 4 of a 6-FF circuit.
+        let mut cp = CampaignCheckpoint::fresh("k".into(), params(FaultKind::Seu), [1u32, 4]);
+        for p in &mut cp.points {
+            p.counts[FailureClass::Benign.tally_index()] = 96;
+            p.counts[FailureClass::OutputMismatch.tally_index()] = 32;
+            p.injections_done = 128;
+            p.complete = true;
+        }
+        let table = cp.to_fdr_table_for(6);
+        assert_eq!(table.num_ffs(), 6);
+        assert_eq!(table.covered().count(), 2);
+        assert_eq!(table.fdr(FfId::from_index(1)), Some(0.25));
+        assert_eq!(table.fdr(FfId::from_index(0)), None);
+        assert_eq!(table.fdr(FfId::from_index(5)), None);
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //!
 //! Subcommands:
 //!
-//! * `ffr run`    — start a checkpointed campaign on a named circuit,
-//! * `ffr resume` — continue an interrupted campaign session,
-//! * `ffr status` — progress of a session directory,
-//! * `ffr report` — render the finished FDR table,
-//! * `ffr gc`     — sweep the artifact store.
+//! * `ffr run`      — start a checkpointed campaign on a named circuit,
+//! * `ffr resume`   — continue an interrupted campaign session,
+//! * `ffr status`   — progress of a session directory,
+//! * `ffr estimate` — ML model selection + FDR prediction for the
+//!   flip-flops a budgeted campaign did not measure,
+//! * `ffr report`   — render the finished FDR table (and estimate),
+//! * `ffr gc`       — sweep the artifact store.
 //!
 //! Argument parsing is hand-rolled (`--flag value` pairs) to stay
 //! dependency-free; [`main_with_args`] returns the process exit code so
@@ -14,10 +16,12 @@
 
 use crate::adaptive::AdaptivePolicy;
 use crate::checkpoint::CampaignCheckpoint;
+use crate::estimate::{self, EstimateOptions, EstimateReport};
 use crate::runner::{CancelToken, RunOutcome, RunnerOptions};
 use crate::session::{self, CampaignManifest, RunRequest, SessionPaths};
 use crate::spec::CircuitSpec;
 use crate::store::ArtifactStore;
+use ffr_core::ModelKind;
 use ffr_fault::{FailureClass, FaultKind, FdrTable, SetDeratingTable};
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -27,11 +31,13 @@ const USAGE: &str = "\
 ffr — functional-failure-rate campaign orchestration
 
 USAGE:
-    ffr run    --circuit <name> --out <dir> [options]
-    ffr resume --out <dir> [--threads N] [--stop-after-points N]
-    ffr status --out <dir>
-    ffr report --out <dir>
-    ffr gc     --store <dir> [--max-age-days D | --all]
+    ffr run      --circuit <name> --out <dir> [options]
+    ffr resume   --out <dir> [--threads N] [--stop-after-points N]
+    ffr status   --out <dir>
+    ffr estimate --out <dir> [estimate options]
+    ffr estimate --circuit <name> --store <dir> [run options] [estimate options]
+    ffr report   --out <dir>
+    ffr gc       --store <dir> [--max-age-days D | --all]
 
 RUN OPTIONS:
     --circuit <name>        counter | lfsr | alu | traffic | mac-small | mac
@@ -45,10 +51,23 @@ RUN OPTIONS:
     --injections <n>        fixed injections per point      [default: 170]
     --adaptive <min:max:hw> adaptive stopping: min/max injections and
                             target Wilson 95% CI half-width (e.g. 64:512:0.05)
+    --budget <fraction>     measure only this fraction of injection points
+                            (a seeded random subset; `ffr estimate` predicts
+                            the rest)                       [default: 1.0]
     --checkpoint-every <n>  flush cadence in retired points [default: 32]
     --threads <n>           worker threads                  [default: all cores]
     --stop-after-points <n> stop (resumably) after N retirements
     --force                 ignore a cached final table
+
+ESTIMATE OPTIONS:
+    --models <a,b,…>        models to cross-validate
+                            (linear,knn,svr,ridge,tree,forest,boosting,mlp)
+                            [default: linear,knn,forest,boosting,mlp]
+    --folds <n>             stratified CV folds             [default: 5]
+    --cv-seed <n>           fold-assignment seed            [default: 2019]
+    --grid <n>              hyperparameter candidates per model [default: 3]
+    --store <dir>           artifact store override
+    --force                 recompute even if a report is cached
 ";
 
 /// Parsed `--flag value` arguments.
@@ -197,12 +216,14 @@ fn print_summary(summary: &session::RunSummary) {
     }
 }
 
-fn cmd_run(mut args: Args) -> Result<i32, String> {
+/// Parse the shared `ffr run` campaign flags into a [`RunRequest`]
+/// (everything except `--out` and the runner knobs). `ffr estimate`
+/// reuses this in store mode to reconstruct a campaign's fingerprint.
+fn run_request_from_args(args: &mut Args) -> Result<RunRequest, String> {
     let circuit: CircuitSpec = args
         .value("circuit")?
         .ok_or("--circuit is required")?
         .parse()?;
-    let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
     let mut request = RunRequest::new(circuit);
     if let Some(fault) = args.value("fault")? {
         request.fault = FaultKind::parse_cli(&fault)?;
@@ -229,9 +250,18 @@ fn cmd_run(mut args: Args) -> Result<i32, String> {
         (Some(n), None) => AdaptivePolicy::fixed(n),
         (None, None) => AdaptivePolicy::fixed(170),
     };
+    if let Some(budget) = args.parsed::<f64>("budget")? {
+        request.budget = budget;
+    }
     if let Some(every) = args.parsed::<usize>("checkpoint-every")? {
         request.checkpoint_every = every.max(1);
     }
+    Ok(request)
+}
+
+fn cmd_run(mut args: Args) -> Result<i32, String> {
+    let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
+    let mut request = run_request_from_args(&mut args)?;
     request.force = args.present("force")?;
     let options = runner_options(&mut args)?;
     args.finish()?;
@@ -302,6 +332,93 @@ fn cmd_status(mut args: Args) -> Result<i32, String> {
     Ok(0)
 }
 
+/// Parse the `ffr estimate`-specific flags (everything except `--out` /
+/// `--store` and the campaign flags of store mode).
+fn estimate_options_from_args(args: &mut Args) -> Result<EstimateOptions, String> {
+    let mut options = EstimateOptions::default();
+    if let Some(models) = args.value("models")? {
+        options.models = models
+            .split(',')
+            .map(|m| ModelKind::parse_cli(m.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+        if options.models.is_empty() {
+            return Err("--models needs at least one model".into());
+        }
+    }
+    if let Some(folds) = args.parsed::<usize>("folds")? {
+        if folds < 2 {
+            return Err("--folds must be at least 2".into());
+        }
+        options.folds = folds;
+    }
+    if let Some(seed) = args.parsed::<u64>("cv-seed")? {
+        options.cv_seed = seed;
+    }
+    if let Some(grid) = args.parsed::<usize>("grid")? {
+        if grid == 0 {
+            return Err("--grid must be positive".into());
+        }
+        options.grid_budget = grid;
+    }
+    options.force = args.present("force")?;
+    Ok(options)
+}
+
+fn print_estimate_report(r: &EstimateReport) {
+    println!(
+        "estimate for {}: {}/{} flip-flops measured (budget {:.0} %)",
+        r.circuit,
+        r.measured_ffs,
+        r.total_ffs,
+        r.budget * 100.0
+    );
+    println!(
+        "  {:<22} {:<26} {:>7} {:>7} {:>7} {:>7}",
+        "model", "best params", "MAE", "RMSE", "EV", "R2"
+    );
+    for m in &r.models {
+        let marker = if m.model == r.best_model { '*' } else { ' ' };
+        println!(
+            "{marker} {:<22} {:<26} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+            m.display_name, m.best_params, m.cv_mae, m.cv_rmse, m.cv_ev, m.cv_r2
+        );
+    }
+    println!(
+        "circuit-level FFR: {:.4} (measured-subset mean {:.4})",
+        r.circuit_ffr, r.measured_fdr_mean
+    );
+    println!(
+        "injections: {} spent vs {} for a full campaign ({:.1}x savings)",
+        r.injections_spent, r.full_campaign_injections, r.injection_savings
+    );
+}
+
+fn cmd_estimate(mut args: Args) -> Result<i32, String> {
+    let out = args.value("out")?.map(PathBuf::from);
+    let summary = match out {
+        Some(out) => {
+            let mut options = estimate_options_from_args(&mut args)?;
+            options.store = args.value("store")?.map(PathBuf::from);
+            args.finish()?;
+            estimate::estimate_session(&out, &options).map_err(|e| e.to_string())?
+        }
+        None => {
+            let request = run_request_from_args(&mut args)?;
+            let options = estimate_options_from_args(&mut args)?;
+            args.finish()?;
+            estimate::estimate_from_store(&request, &options).map_err(|e| e.to_string())?
+        }
+    };
+    if summary.report_from_cache {
+        println!("served from artifact cache: no model was refitted");
+    }
+    print_estimate_report(&summary.report);
+    if let Some(path) = &summary.json_path {
+        println!("estimate written to {}", path.display());
+    }
+    Ok(0)
+}
+
 fn cmd_report(mut args: Args) -> Result<i32, String> {
     let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
     args.finish()?;
@@ -327,6 +444,12 @@ fn cmd_report(mut args: Args) -> Result<i32, String> {
             println!("total injections: {injections}");
             println!("\nFDR histogram (10 bins):");
             print!("{}", table.histogram(10));
+            if paths.estimate_json().exists() {
+                let report =
+                    EstimateReport::load_json(&paths.estimate_json()).map_err(|e| e.to_string())?;
+                println!();
+                print_estimate_report(&report);
+            }
         }
         FaultKind::Set => {
             let table = SetDeratingTable::load_json(&paths.set_json())
@@ -392,6 +515,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
         "run" => cmd_run(parsed),
         "resume" => cmd_resume(parsed),
         "status" => cmd_status(parsed),
+        "estimate" => cmd_estimate(parsed),
         "report" => cmd_report(parsed),
         "gc" => cmd_gc(parsed),
         "help" | "--help" | "-h" => {

@@ -27,9 +27,15 @@
 //! * **Work stealing** ([`runner`]) — workers claim injection points from
 //!   a shared cursor, so adaptive stopping and early convergence exit do
 //!   not leave threads idle behind a static partition.
+//! * **ML-assisted estimation** ([`estimate`]) — `ffr run --budget 0.4`
+//!   measures a seeded flip-flop subset; `ffr estimate` cross-validates
+//!   the paper's regression models on the measured FDRs, predicts every
+//!   unmeasured flip-flop from cached feature matrices, and emits a
+//!   byte-reproducible estimation report — the full paper pipeline off
+//!   cached artifacts, with zero re-simulation.
 //! * **The `ffr` CLI** ([`cli`]) — `run --fault {seu,set}`, `resume`,
-//!   `status`, `report`, `gc` over named circuits ([`spec`]), replacing
-//!   ad-hoc per-experiment binaries for the core campaign flow.
+//!   `status`, `report`, `estimate`, `gc` over named circuits ([`spec`]),
+//!   replacing ad-hoc per-experiment binaries for the core campaign flow.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +43,7 @@
 pub mod adaptive;
 pub mod checkpoint;
 pub mod cli;
+pub mod estimate;
 pub mod runner;
 pub mod session;
 pub mod spec;
@@ -44,6 +51,7 @@ pub mod store;
 
 pub use adaptive::{AdaptivePolicy, CHUNK_INJECTIONS};
 pub use checkpoint::{CampaignCheckpoint, CheckpointParams, PointProgress};
+pub use estimate::{EstimateOptions, EstimateReport, EstimateSummary, FfEstimateRow, ModelReport};
 pub use runner::{run_resumable, CancelToken, RunOutcome, RunnerOptions};
 pub use session::{CampaignManifest, RunRequest, RunSummary, SessionPaths};
 pub use spec::{CircuitSpec, PreparedCircuit};

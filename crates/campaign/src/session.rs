@@ -31,8 +31,9 @@ use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Manifest format version (2: fault-model-aware sessions).
-pub const MANIFEST_VERSION: u32 = 2;
+/// Manifest format version (3: budgeted sessions — v2 manifests lack the
+/// `budget` field).
+pub const MANIFEST_VERSION: u32 = 3;
 
 /// Shortest testbench that still leaves a non-empty injection window
 /// with settling margins (see [`CircuitSpec::prepare`]).
@@ -56,6 +57,11 @@ pub struct CampaignManifest {
     pub seed: u64,
     /// Adaptive stopping policy.
     pub policy: AdaptivePolicy,
+    /// Measurement budget: the fraction of injection points actually
+    /// fault-injected (1.0 = full campaign). A budgeted SEU session
+    /// produces a *partial* FDR table whose unmeasured flip-flops are
+    /// filled in by `ffr estimate`.
+    pub budget: f64,
     /// Checkpoint flush cadence, in retired injection points.
     pub checkpoint_every: usize,
     /// Artifact store root (`None` disables caching).
@@ -143,6 +149,16 @@ impl SessionPaths {
         self.out_dir.join("set-derating.csv")
     }
 
+    /// The ML estimation report (JSON), written by `ffr estimate`.
+    pub fn estimate_json(&self) -> PathBuf {
+        self.out_dir.join("estimate.json")
+    }
+
+    /// The per-flip-flop estimate table (CSV), written by `ffr estimate`.
+    pub fn estimate_csv(&self) -> PathBuf {
+        self.out_dir.join("estimate.csv")
+    }
+
     /// The final result table (JSON) of a campaign with the given fault
     /// model.
     pub fn table_json(&self, fault: FaultKind) -> PathBuf {
@@ -178,6 +194,10 @@ pub struct RunRequest {
     pub seed: u64,
     /// Stopping policy.
     pub policy: AdaptivePolicy,
+    /// Measurement budget: fraction of injection points to fault-inject
+    /// (1.0 = all of them). Budgeted SEU campaigns measure a seeded random
+    /// flip-flop subset; `ffr estimate` predicts the rest.
+    pub budget: f64,
     /// Checkpoint flush cadence.
     pub checkpoint_every: usize,
     /// Artifact store root (`None` disables caching).
@@ -197,6 +217,7 @@ impl RunRequest {
             cycles: 400,
             seed: 2019,
             policy: AdaptivePolicy::fixed(170),
+            budget: 1.0,
             checkpoint_every: 32,
             store: None,
             force: false,
@@ -317,6 +338,75 @@ fn point_ids(fault: FaultKind, cc: &ffr_sim::CompiledCircuit) -> Vec<u32> {
     }
 }
 
+/// The injection points actually measured under a budget: a seeded random
+/// subset of [`point_ids`] (at least two points), in ascending id order.
+///
+/// The subset is a pure function of `(circuit, fault, budget, seed)` — the
+/// shuffle RNG stream is domain-separated from the injection-plan streams
+/// — so budgeted runs resume and cache-serve exactly like full ones.
+pub(crate) fn budgeted_point_ids(
+    fault: FaultKind,
+    cc: &ffr_sim::CompiledCircuit,
+    budget: f64,
+    seed: u64,
+) -> Vec<u32> {
+    use rand::seq::SliceRandom;
+    use rand_chacha::rand_core::SeedableRng;
+    let mut ids = point_ids(fault, cc);
+    if budget >= 1.0 {
+        return ids;
+    }
+    let n = ((ids.len() as f64) * budget).round().max(2.0) as usize;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xB0D6_E7ED);
+    ids.shuffle(&mut rng);
+    ids.truncate(n.min(ids.len()));
+    ids.sort_unstable();
+    ids
+}
+
+/// The golden run for a prepared circuit: served from the store when
+/// cached — keyed by `(netlist, stimulus config)`, so SEU/SET campaigns,
+/// any policy/seed/budget and `ffr estimate` all share one artifact —
+/// otherwise captured and published back. Returns whether it was a cache
+/// hit. The single definition of the golden-run cache discipline, shared
+/// by the campaign driver and the estimation stage.
+pub(crate) fn golden_for(
+    prepared: &crate::spec::PreparedCircuit,
+    store: Option<&ArtifactStore>,
+) -> io::Result<(GoldenRun, bool)> {
+    let key = StoreKey::of(prepared.cc.netlist(), &prepared.config_desc);
+    if let Some(store) = store {
+        if let Some(golden) = store.get::<GoldenRun>(ArtifactKind::GoldenRun, &key)? {
+            return Ok((golden, true));
+        }
+    }
+    let golden = GoldenRun::capture(&prepared.cc, &prepared.stimulus, &prepared.watch);
+    if let Some(store) = store {
+        store.put(ArtifactKind::GoldenRun, &key, &golden)?;
+    }
+    Ok((golden, false))
+}
+
+/// The store key of a campaign's final table: a fingerprint of the
+/// netlist structure, the stimulus, the fault model and every campaign
+/// parameter (window, seed, policy, budget).
+pub fn campaign_table_key(
+    request: &RunRequest,
+    prepared: &crate::spec::PreparedCircuit,
+) -> StoreKey {
+    let campaign_desc = format!(
+        "{};fault={};window={}..{};seed={};policy={};budget={}",
+        prepared.config_desc,
+        request.fault,
+        prepared.window.start,
+        prepared.window.end,
+        request.seed,
+        request.policy.describe(),
+        request.budget
+    );
+    StoreKey::of(prepared.cc.netlist(), &campaign_desc)
+}
+
 /// Start (or restart) a campaign session in `out_dir`.
 ///
 /// # Errors
@@ -336,6 +426,12 @@ pub fn run(
             request.cycles
         )));
     }
+    if !(request.budget > 0.0 && request.budget <= 1.0) {
+        return Err(io::Error::other(format!(
+            "--budget {} is not a fraction in (0, 1]",
+            request.budget
+        )));
+    }
     std::fs::create_dir_all(out_dir)?;
     let paths = SessionPaths::new(out_dir);
     let prepared = request.circuit.prepare(request.stim_seed, request.cycles);
@@ -343,16 +439,7 @@ pub fn run(
 
     // The campaign fingerprint covers the netlist, the stimulus, the
     // fault model and every campaign parameter.
-    let campaign_desc = format!(
-        "{};fault={};window={}..{};seed={};policy={}",
-        prepared.config_desc,
-        request.fault,
-        window.start,
-        window.end,
-        request.seed,
-        request.policy.describe()
-    );
-    let table_key = StoreKey::of(prepared.cc.netlist(), &campaign_desc);
+    let table_key = campaign_table_key(request, &prepared);
 
     let manifest = CampaignManifest {
         version: MANIFEST_VERSION,
@@ -362,6 +449,7 @@ pub fn run(
         cycles: request.cycles,
         seed: request.seed,
         policy: request.policy.clone(),
+        budget: request.budget,
         checkpoint_every: request.checkpoint_every,
         store: request
             .store
@@ -405,7 +493,8 @@ pub fn run(
     // checkpoint to honour.
     if !request.force && checkpoint.is_none() {
         if let Some(store) = &store {
-            let num_points = point_ids(request.fault, &prepared.cc).len();
+            let num_points =
+                budgeted_point_ids(request.fault, &prepared.cc, request.budget, request.seed).len();
             let served = match request.fault {
                 FaultKind::Seu => {
                     serve_cached_table::<FdrTable>(store, &table_key, &paths, request.fault)?
@@ -441,7 +530,7 @@ pub fn run(
                 window_end: window.end,
                 policy: request.policy.clone(),
             },
-            point_ids(request.fault, &prepared.cc),
+            budgeted_point_ids(request.fault, &prepared.cc, request.budget, request.seed),
         )
     });
 
@@ -499,25 +588,7 @@ fn drive(
     cancel: &CancelToken,
     progress: impl Fn(usize, usize) + Sync,
 ) -> io::Result<RunSummary> {
-    // Golden run: cache by (netlist, stimulus) — fault model and campaign
-    // parameters do not affect it, so SEU and SET campaigns with any
-    // policy/seed all share one golden artifact.
-    let golden_key = StoreKey::of(prepared.cc.netlist(), &prepared.config_desc);
-    let mut golden_from_cache = false;
-    let golden = match &store {
-        Some(store) => match store.get::<GoldenRun>(ArtifactKind::GoldenRun, &golden_key)? {
-            Some(golden) => {
-                golden_from_cache = true;
-                golden
-            }
-            None => {
-                let golden = GoldenRun::capture(&prepared.cc, &prepared.stimulus, &prepared.watch);
-                store.put(ArtifactKind::GoldenRun, &golden_key, &golden)?;
-                golden
-            }
-        },
-        None => GoldenRun::capture(&prepared.cc, &prepared.stimulus, &prepared.watch),
-    };
+    let (golden, golden_from_cache) = golden_for(&prepared, store.as_ref())?;
 
     let judge = prepared.judge_spec.build(&golden);
     let campaign = Campaign::with_golden(
@@ -545,7 +616,7 @@ fn drive(
         let key: StoreKey = parse_key(&manifest.fingerprint)?;
         match manifest.fault {
             FaultKind::Seu => publish_table(
-                &checkpoint.to_fdr_table(),
+                &checkpoint.to_fdr_table_for(prepared.cc.num_ffs()),
                 &paths,
                 manifest.fault,
                 &store,
@@ -574,7 +645,7 @@ fn drive(
     })
 }
 
-fn parse_key(rendered: &str) -> io::Result<StoreKey> {
+pub(crate) fn parse_key(rendered: &str) -> io::Result<StoreKey> {
     let (netlist, config) = rendered
         .split_once('-')
         .ok_or_else(|| io::Error::other("malformed fingerprint"))?;
@@ -602,6 +673,7 @@ mod tests {
             cycles: 160,
             seed: 7,
             policy: AdaptivePolicy::fixed(64),
+            budget: 1.0,
             checkpoint_every: 2,
             store,
             force: false,
@@ -870,6 +942,89 @@ mod tests {
         )
         .unwrap();
         assert_eq!(summary.outcome, RunOutcome::Complete);
+    }
+
+    #[test]
+    fn budgeted_session_measures_a_subset_and_resumes() {
+        // Full-budget reference on a circuit with enough flip-flops for a
+        // 40 % subset to be a strict subset.
+        let mut request = quick_request(None);
+        request.circuit = CircuitSpec::Lfsr { width: 8, depth: 2 };
+        request.budget = 0.4;
+        let out = tmp_dir("budget");
+        let summary = run(
+            &request,
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Complete);
+        let table = ffr_fault::FdrTable::load_json(&out.join("fdr.json")).unwrap();
+        let expected = ((table.num_ffs() as f64) * 0.4).round() as usize;
+        assert_eq!(summary.total_points, expected);
+        assert_eq!(table.covered().count(), expected);
+        assert!(table.covered().count() < table.num_ffs());
+
+        // A different budget is a different campaign (fingerprint).
+        let manifest = CampaignManifest::load(&SessionPaths::new(&out).manifest()).unwrap();
+        assert_eq!(manifest.budget, 0.4);
+        let mut full = request.clone();
+        full.budget = 1.0;
+        let err = run(
+            &full,
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("different campaign"), "{err}");
+
+        // Kill/resume on a budgeted campaign stays byte-identical.
+        let out2 = tmp_dir("budget_killed");
+        let summary = run(
+            &request,
+            &out2,
+            &RunnerOptions {
+                stop_after_points: Some(1),
+                ..RunnerOptions::default()
+            },
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Cancelled);
+        resume(
+            &out2,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(out.join("fdr.json")).unwrap(),
+            std::fs::read(out2.join("fdr.json")).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_budget_is_rejected_cleanly() {
+        for bad in [0.0, -0.5, 1.5] {
+            let out = tmp_dir("bad_budget");
+            let mut request = quick_request(None);
+            request.budget = bad;
+            let err = run(
+                &request,
+                &out,
+                &RunnerOptions::default(),
+                &CancelToken::new(),
+                |_, _| {},
+            )
+            .unwrap_err();
+            assert!(err.to_string().contains("budget"), "{err}");
+        }
     }
 
     #[test]

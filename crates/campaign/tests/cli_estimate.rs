@@ -1,0 +1,238 @@
+//! Process-level end-to-end test of the paper pipeline: a budgeted
+//! campaign (`ffr run --budget 0.4`) followed by ML-assisted estimation
+//! (`ffr estimate`), driven through the real `ffr` binary.
+//!
+//! Asserts the two properties the pipeline is built around:
+//!
+//! * **fixed-seed determinism** — two `ffr estimate` runs over the same
+//!   session produce byte-identical `estimate.json` files (the second is
+//!   `--force`d so it really refits every model, off cache-served
+//!   features), and
+//! * **estimation accuracy** — the predicted circuit-level FFR of the
+//!   40 %-budget session lands within tolerance of the measured FFR of a
+//!   full-budget campaign with the same seeds.
+
+use ffr_campaign::EstimateReport;
+use ffr_fault::FdrTable;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+const FFR: &str = env!("CARGO_BIN_EXE_ffr");
+
+fn ffr(args: &[&str]) -> std::process::Output {
+    Command::new(FFR)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn ffr")
+}
+
+fn ffr_ok(args: &[&str]) -> String {
+    let output = ffr(args);
+    assert!(
+        output.status.success(),
+        "`ffr {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// `ffr run` arguments shared by the full- and partial-budget campaigns.
+///
+/// The small MAC is the only fast circuit with a *varied* FDR population
+/// (its packet-level judge admits benign outcomes; the generic circuits'
+/// strict output-mismatch judge drives every FDR to ~1.0, which would
+/// make the regression problem degenerate).
+fn run_args(out: &Path, store: &Path) -> Vec<String> {
+    [
+        "run",
+        "--circuit",
+        "mac-small",
+        "--out",
+        &out.to_string_lossy(),
+        "--store",
+        &store.to_string_lossy(),
+        "--injections",
+        "24",
+        "--seed",
+        "7",
+        "--threads",
+        "2",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// `ffr estimate` flags sized for a debug-build test run: four model
+/// kinds (the acceptance floor), tuned defaults only, four folds.
+const ESTIMATE_FLAGS: [&str; 6] = [
+    "--models",
+    "linear,knn,forest,boosting",
+    "--grid",
+    "1",
+    "--folds",
+    "4",
+];
+
+#[test]
+fn budgeted_estimate_is_deterministic_and_tracks_full_campaign() {
+    let base = std::env::temp_dir().join(format!("ffr_cli_estimate_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let store = base.join("store");
+    let full_out = base.join("full");
+    let partial_out = base.join("partial");
+
+    // Full-budget reference campaign: every flip-flop measured.
+    let args: Vec<String> = run_args(&full_out, &store);
+    ffr_ok(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    let full_table = FdrTable::load_json(&full_out.join("fdr.json")).unwrap();
+    assert_eq!(full_table.covered().count(), full_table.num_ffs());
+
+    // 40 %-budget campaign with the same seeds (shares the golden run
+    // through the store).
+    let mut args = run_args(&partial_out, &store);
+    args.extend(["--budget".to_string(), "0.4".to_string()]);
+    ffr_ok(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    let partial_table = FdrTable::load_json(&partial_out.join("fdr.json")).unwrap();
+    let expected_measured = ((full_table.num_ffs() as f64) * 0.4).round() as usize;
+    assert_eq!(partial_table.covered().count(), expected_measured);
+
+    // First estimate: computes features, fits models, writes the report.
+    let partial_s = partial_out.to_string_lossy().into_owned();
+    let mut est_args = vec!["estimate", "--out", &partial_s];
+    est_args.extend(ESTIMATE_FLAGS);
+    let stdout = ffr_ok(&est_args);
+    assert!(stdout.contains("circuit-level FFR"), "{stdout}");
+    let first = std::fs::read(partial_out.join("estimate.json")).unwrap();
+    let first_csv = std::fs::read(partial_out.join("estimate.csv")).unwrap();
+
+    // Second estimate is --force'd so every model actually refits (the
+    // report cache would otherwise serve the stored artifact); fixed
+    // seeds make the rerun byte-identical.
+    let mut forced = est_args.clone();
+    forced.push("--force");
+    ffr_ok(&forced);
+    let second = std::fs::read(partial_out.join("estimate.json")).unwrap();
+    assert_eq!(
+        first, second,
+        "estimate.json must be byte-identical across reruns"
+    );
+    assert_eq!(
+        first_csv,
+        std::fs::read(partial_out.join("estimate.csv")).unwrap(),
+        "estimate.csv must be byte-identical across reruns"
+    );
+
+    // An unforced third run is served from the report artifact and still
+    // leaves identical session files behind.
+    let stdout = ffr_ok(&est_args);
+    assert!(stdout.contains("artifact cache"), "{stdout}");
+    assert_eq!(
+        first,
+        std::fs::read(partial_out.join("estimate.json")).unwrap()
+    );
+
+    // The report carries CV scores for all default model kinds and a
+    // real injection-savings figure.
+    let report = EstimateReport::load_json(&partial_out.join("estimate.json")).unwrap();
+    assert!(
+        report.models.len() >= 4,
+        "expected >= 4 evaluated model kinds, got {}",
+        report.models.len()
+    );
+    for m in &report.models {
+        for score in [m.cv_mae, m.cv_max, m.cv_rmse, m.cv_ev, m.cv_r2] {
+            assert!(score.is_finite(), "{}: non-finite CV score", m.model);
+        }
+    }
+    assert!(report.models.iter().any(|m| m.model == report.best_model));
+    assert_eq!(report.measured_ffs, expected_measured);
+    assert_eq!(report.total_ffs, full_table.num_ffs());
+    assert_eq!(report.per_ff.len(), report.total_ffs);
+    assert!(
+        report.injection_savings > 2.0,
+        "a 40 % budget saves > 2x ({:.2}x reported)",
+        report.injection_savings
+    );
+
+    // Estimation accuracy: predicted circuit FFR within tolerance of the
+    // full campaign's measured FFR (observed |error| ≈ 0.005 on a
+    // genuinely varied FDR population spanning [0, 1]).
+    let full_ffr = full_table.circuit_fdr();
+    assert!(
+        (report.circuit_ffr - full_ffr).abs() <= 0.05,
+        "predicted FFR {:.4} strays from measured full-campaign FFR {:.4}",
+        report.circuit_ffr,
+        full_ffr
+    );
+
+    // `ffr report` on the session now includes the estimate.
+    let stdout = ffr_ok(&["report", "--out", &partial_s]);
+    assert!(stdout.contains("estimate for"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn estimate_without_session_resolves_from_store() {
+    let base = std::env::temp_dir().join(format!("ffr_cli_estimate_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let store = base.join("store");
+    let out = base.join("session");
+
+    let mut args = run_args(&out, &store);
+    args.extend(["--budget".to_string(), "0.4".to_string()]);
+    ffr_ok(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    // Remove the session entirely; the store still holds the artifacts.
+    std::fs::remove_dir_all(&out).unwrap();
+
+    let store_s = store.to_string_lossy().into_owned();
+    let mut args = vec![
+        "estimate",
+        "--circuit",
+        "mac-small",
+        "--store",
+        &store_s,
+        "--injections",
+        "24",
+        "--seed",
+        "7",
+        "--budget",
+        "0.4",
+    ];
+    args.extend(ESTIMATE_FLAGS);
+    let stdout = ffr_ok(&args);
+    assert!(stdout.contains("circuit-level FFR"), "{stdout}");
+    // The report artifact landed in the store.
+    let reports: Vec<PathBuf> = std::fs::read_dir(store.join("report"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(reports.len(), 1);
+
+    // Mismatched campaign parameters miss cleanly instead of estimating
+    // off the wrong table.
+    let output = ffr(&[
+        "estimate",
+        "--circuit",
+        "mac-small",
+        "--store",
+        &store_s,
+        "--injections",
+        "24",
+        "--seed",
+        "8",
+        "--budget",
+        "0.4",
+    ]);
+    assert_eq!(output.status.code(), Some(64));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("no FDR table"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -10,9 +10,10 @@ use ffr_sim::{CompiledCircuit, Stimulus, WatchList};
 use rand::seq::SliceRandom;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{de_field, Deserialize, Serialize, Value};
 
 /// Parameters of the estimation flow.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowConfig {
     /// Fraction of flip-flops whose FDR is measured by fault injection
     /// (the paper recommends 0.2–0.5).
@@ -34,6 +35,40 @@ impl FlowConfig {
             window,
             seed: 0,
         }
+    }
+}
+
+// `Range` has no serde impl in the vendored substitute; flatten the window
+// into explicit start/end fields so persisted flow configurations stay
+// self-describing JSON objects.
+impl Serialize for FlowConfig {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "training_fraction".into(),
+                self.training_fraction.to_value(),
+            ),
+            (
+                "injections_per_ff".into(),
+                self.injections_per_ff.to_value(),
+            ),
+            ("window_start".into(), self.window.start.to_value()),
+            ("window_end".into(), self.window.end.to_value()),
+            ("seed".into(), self.seed.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FlowConfig {
+    fn from_value(v: &Value) -> Result<FlowConfig, serde::Error> {
+        let start: u64 = de_field(v, "window_start")?;
+        let end: u64 = de_field(v, "window_end")?;
+        Ok(FlowConfig {
+            training_fraction: de_field(v, "training_fraction")?,
+            injections_per_ff: de_field(v, "injections_per_ff")?,
+            window: start..end,
+            seed: de_field(v, "seed")?,
+        })
     }
 }
 
@@ -60,9 +95,38 @@ impl FdrEstimate {
     }
 }
 
+// The vendored derive only handles fieldless enums; estimates carry their
+// value, so the provenance is encoded as an explicit `source` tag.
+impl Serialize for FdrEstimate {
+    fn to_value(&self) -> Value {
+        let (source, v) = match self {
+            FdrEstimate::Measured(v) => ("measured", *v),
+            FdrEstimate::Predicted(v) => ("predicted", *v),
+        };
+        Value::Object(vec![
+            ("source".into(), Value::Str(source.into())),
+            ("fdr".into(), Value::F64(v)),
+        ])
+    }
+}
+
+impl Deserialize for FdrEstimate {
+    fn from_value(v: &Value) -> Result<FdrEstimate, serde::Error> {
+        let source: String = de_field(v, "source")?;
+        let fdr: f64 = de_field(v, "fdr")?;
+        match source.as_str() {
+            "measured" => Ok(FdrEstimate::Measured(fdr)),
+            "predicted" => Ok(FdrEstimate::Predicted(fdr)),
+            other => Err(serde::Error::msg(format!(
+                "unknown FDR estimate source `{other}`"
+            ))),
+        }
+    }
+}
+
 /// Result of one estimation-flow run: a complete per-flip-flop FDR list
 /// obtained from a partial campaign plus model predictions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Estimation {
     /// Per-flip-flop estimates, indexed by `FfId`.
     pub per_ff: Vec<FdrEstimate>,
@@ -87,6 +151,72 @@ impl Estimation {
     /// Number of fault-injection simulations the flow spent.
     pub fn injections_spent(&self) -> usize {
         self.trained_ffs.len() * self.measured.injections_per_ff()
+    }
+
+    /// Build an estimation from an **already-measured** (possibly partial)
+    /// FDR table and a feature matrix: train `model` on the covered
+    /// flip-flops and predict every uncovered one.
+    ///
+    /// This is the store-backed entry point of the flow — the table
+    /// typically comes from a checkpointed `ffr run` campaign and the
+    /// features from the artifact store, so **no simulation happens
+    /// here**: unlike [`EstimationFlow::estimate`], which injects the
+    /// training subset itself, this consumes measurements that already
+    /// exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature matrix and table disagree on the number of
+    /// flip-flops, or fewer than two flip-flops are covered.
+    pub fn from_measured_with<M: Regressor + ?Sized>(
+        features: &FeatureMatrix,
+        measured: &FdrTable,
+        model: &mut M,
+    ) -> Estimation {
+        assert_eq!(
+            features.num_rows(),
+            measured.num_ffs(),
+            "feature matrix and FDR table cover different circuits"
+        );
+        let trained_ffs: Vec<FfId> = measured.covered().map(|r| r.ff()).collect();
+        assert!(
+            trained_ffs.len() >= 2,
+            "need at least 2 measured flip-flops to train on (got {})",
+            trained_ffs.len()
+        );
+        let rows = features.to_rows();
+        let tx: Vec<Vec<f64>> = trained_ffs
+            .iter()
+            .map(|&f| rows[f.index()].clone())
+            .collect();
+        let ty: Vec<f64> = trained_ffs
+            .iter()
+            .map(|&f| measured.fdr(f).expect("covered FF has an FDR"))
+            .collect();
+        model.fit(&tx, &ty);
+        let per_ff = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| match measured.fdr(FfId::from_index(i)) {
+                Some(v) => FdrEstimate::Measured(v),
+                None => FdrEstimate::Predicted(model.predict_one(row).clamp(0.0, 1.0)),
+            })
+            .collect();
+        Estimation {
+            per_ff,
+            trained_ffs,
+            measured: measured.clone(),
+        }
+    }
+
+    /// [`Estimation::from_measured_with`] using a [`ModelKind`]'s tuned
+    /// default model (fixed seeds, so reruns are bit-identical).
+    pub fn from_measured(
+        features: &FeatureMatrix,
+        measured: &FdrTable,
+        kind: ModelKind,
+    ) -> Estimation {
+        Estimation::from_measured_with(features, measured, &mut kind.build())
     }
 }
 
@@ -282,5 +412,70 @@ mod tests {
         let a = flow.estimate(ModelKind::DecisionTree, &config);
         let b = flow.estimate(ModelKind::DecisionTree, &config);
         assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn from_measured_trains_on_covered_ffs_only() {
+        use ffr_fault::CampaignConfig;
+        let (cc, tb, watch, extractor) =
+            MacTestbench::setup(Mac10geConfig::small(), &TrafficConfig::small());
+        let golden = GoldenRun::capture(&cc, &tb, &watch);
+        let judge = MacJudge::new(extractor, &golden);
+        let features = ffr_features::extract_features(&cc, &golden.activity);
+        // Measure a third of the flip-flops with a real (tiny) campaign.
+        let campaign = ffr_fault::Campaign::with_golden(&cc, &tb, &watch, &judge, golden);
+        let subset: Vec<ffr_netlist::FfId> = (0..cc.num_ffs())
+            .filter(|i| i % 3 == 0)
+            .map(ffr_netlist::FfId::from_index)
+            .collect();
+        let config = CampaignConfig::new(tb.injection_window())
+            .with_injections(4)
+            .with_seed(11);
+        let table = campaign.run_parallel_subset(&subset, &config, |_, _| {});
+
+        let est = Estimation::from_measured(&features, &table, ModelKind::Knn);
+        assert_eq!(est.per_ff.len(), cc.num_ffs());
+        assert_eq!(est.trained_ffs.len(), subset.len());
+        let measured = est.per_ff.iter().filter(|e| e.is_measured()).count();
+        assert_eq!(measured, subset.len());
+        assert!(est.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // No simulation happens: reruns off the same table are identical.
+        let again = Estimation::from_measured(&features, &table, ModelKind::Knn);
+        assert_eq!(est, again);
+    }
+
+    #[test]
+    fn estimation_and_flow_config_serde_round_trip() {
+        let config = FlowConfig {
+            training_fraction: 0.4,
+            injections_per_ff: 17,
+            window: 5..99,
+            seed: 21,
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: FlowConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+
+        use ffr_fault::{FailureClass, FfCampaignResult};
+        let mut counts = [0usize; FailureClass::ALL.len()];
+        counts[FailureClass::Benign.tally_index()] = 3;
+        counts[FailureClass::OutputMismatch.tally_index()] = 1;
+        let table = ffr_fault::FdrTable::from_results(
+            2,
+            vec![FfCampaignResult::new(
+                ffr_netlist::FfId::from_index(1),
+                counts,
+            )],
+            4,
+        );
+        let est = Estimation {
+            per_ff: vec![FdrEstimate::Predicted(0.125), FdrEstimate::Measured(0.25)],
+            trained_ffs: vec![ffr_netlist::FfId::from_index(1)],
+            measured: table,
+        };
+        let json = serde_json::to_string(&est).unwrap();
+        let back: Estimation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, est);
+        assert!(json.contains("\"predicted\""), "{json}");
     }
 }

@@ -42,7 +42,7 @@ pub mod savings;
 pub use dataset::ReferenceDataset;
 pub use derating::{RawEventRates, SoftErrorEstimate};
 pub use flow::{Estimation, EstimationFlow, FdrEstimate, FlowConfig};
-pub use models::{DecisionTreeParams, KnnParams, ModelKind, SvrParams};
+pub use models::{DecisionTreeParams, KnnParams, ModelCandidate, ModelKind, SvrParams};
 pub use report::{
     compare_models, evaluate_model, model_learning_curve, prediction_report, LearningCurveReport,
     ModelComparison, PredictionReport,

@@ -91,6 +91,157 @@ impl ModelKind {
         }
     }
 
+    /// Short CLI token of the model (`ffr estimate --models …`).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            ModelKind::LinearLeastSquares => "linear",
+            ModelKind::Knn => "knn",
+            ModelKind::SvrRbf => "svr",
+            ModelKind::Ridge => "ridge",
+            ModelKind::DecisionTree => "tree",
+            ModelKind::RandomForest => "forest",
+            ModelKind::GradientBoosting => "boosting",
+            ModelKind::Mlp => "mlp",
+        }
+    }
+
+    /// Parse a CLI token produced by [`ModelKind::cli_name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid tokens on an unknown name.
+    pub fn parse_cli(name: &str) -> Result<ModelKind, String> {
+        ModelKind::ALL
+            .into_iter()
+            .find(|k| k.cli_name() == name)
+            .ok_or_else(|| {
+                let names: Vec<&str> = ModelKind::ALL.iter().map(|k| k.cli_name()).collect();
+                format!(
+                    "unknown model `{name}` (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+
+    /// A small hyperparameter grid around the tuned defaults, capped at
+    /// `budget` candidates — the paper runs an expensive random + grid
+    /// search once per circuit (§III-A); the campaign CLI instead spends a
+    /// fixed, small search budget per model so `ffr estimate` stays
+    /// interactive. The tuned default is always the first candidate, and
+    /// every candidate constructs with fixed seeds, so grid results are
+    /// bit-identical across reruns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn small_grid(self, budget: usize) -> Vec<ModelCandidate> {
+        assert!(budget > 0, "grid budget must be positive");
+        let mut grid = vec![ModelCandidate::new(self, "tuned-default", move || {
+            self.build()
+        })];
+        match self {
+            ModelKind::LinearLeastSquares => {}
+            ModelKind::Knn => {
+                for k in [5usize, 7] {
+                    grid.push(ModelCandidate::new(self, format!("k={k}"), move || {
+                        Box::new(ScaledRegressor::new(KnnRegressor::new(
+                            k,
+                            Distance::Manhattan,
+                            WeightScheme::InverseDistance,
+                        )))
+                    }));
+                }
+            }
+            ModelKind::SvrRbf => {
+                for (c, gamma) in [(1.0, 0.055), (3.5, 0.2)] {
+                    grid.push(ModelCandidate::new(
+                        self,
+                        format!("C={c} gamma={gamma}"),
+                        move || {
+                            Box::new(ScaledRegressor::new(SvrRegressor::new(
+                                c,
+                                0.025,
+                                Kernel::Rbf { gamma },
+                            )))
+                        },
+                    ));
+                }
+            }
+            ModelKind::Ridge => {
+                for alpha in [0.1, 10.0] {
+                    grid.push(ModelCandidate::new(
+                        self,
+                        format!("alpha={alpha}"),
+                        move || Box::new(RidgeRegression::new(alpha)),
+                    ));
+                }
+            }
+            ModelKind::DecisionTree => {
+                for depth in [6usize, 18] {
+                    grid.push(ModelCandidate::new(
+                        self,
+                        format!("max_depth={depth}"),
+                        move || {
+                            Box::new(
+                                DecisionTreeParams {
+                                    max_depth: depth,
+                                    min_samples_leaf: 2,
+                                }
+                                .build(),
+                            )
+                        },
+                    ));
+                }
+            }
+            ModelKind::RandomForest => {
+                for (trees, depth) in [(30usize, 8usize), (100, 12)] {
+                    grid.push(ModelCandidate::new(
+                        self,
+                        format!("trees={trees} depth={depth}"),
+                        move || {
+                            Box::new(
+                                RandomForestRegressor::new(trees, depth, 0)
+                                    .with_min_samples_leaf(2),
+                            )
+                        },
+                    ));
+                }
+            }
+            ModelKind::GradientBoosting => {
+                for (stages, lr, depth) in [(100usize, 0.1, 2usize), (200, 0.05, 3)] {
+                    grid.push(ModelCandidate::new(
+                        self,
+                        format!("stages={stages} lr={lr} depth={depth}"),
+                        move || Box::new(GradientBoostingRegressor::new(stages, lr, depth)),
+                    ));
+                }
+            }
+            ModelKind::Mlp => {
+                for hidden in [vec![16usize], vec![64, 32]] {
+                    grid.push(ModelCandidate::new(
+                        self,
+                        format!("hidden={hidden:?}"),
+                        move || {
+                            Box::new(ScaledRegressor::new(
+                                MlpRegressor::new(hidden.clone(), Activation::Relu, 300, 0)
+                                    .with_learning_rate(0.01),
+                            ))
+                        },
+                    ));
+                }
+            }
+        }
+        grid.truncate(budget);
+        grid
+    }
+
+    /// Fit this kind's tuned default model on `(x, y)` and predict
+    /// `x_predict` — the fixed-seed [`ffr_ml::fit_predict`] facade indexed
+    /// by model kind. Reruns are bit-identical.
+    pub fn fit_predict(self, x: &[Vec<f64>], y: &[f64], x_predict: &[Vec<f64>]) -> Vec<f64> {
+        ffr_ml::fit_predict(self.build(), x, y, x_predict)
+    }
+
     /// k-NN hyperparameter grid used by the tuning experiment (§IV-B.2).
     pub fn knn_grid() -> Vec<KnnParams> {
         let mut grid = Vec::new();
@@ -125,6 +276,51 @@ impl ModelKind {
 impl std::fmt::Display for ModelKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.display_name())
+    }
+}
+
+/// One candidate of a [`ModelKind::small_grid`]: a labelled constructor
+/// for a model with specific hyperparameters, usable as the parameter type
+/// of [`ffr_ml::model_selection::grid_search`].
+#[derive(Clone)]
+pub struct ModelCandidate {
+    kind: ModelKind,
+    label: String,
+    build: std::sync::Arc<dyn Fn() -> Box<dyn Regressor + Send + Sync> + Send + Sync>,
+}
+
+impl ModelCandidate {
+    fn new(
+        kind: ModelKind,
+        label: impl Into<String>,
+        build: impl Fn() -> Box<dyn Regressor + Send + Sync> + Send + Sync + 'static,
+    ) -> ModelCandidate {
+        ModelCandidate {
+            kind,
+            label: label.into(),
+            build: std::sync::Arc::new(build),
+        }
+    }
+
+    /// The model kind this candidate belongs to.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Human-readable hyperparameter description.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Instantiate a fresh, unfitted model.
+    pub fn build(&self) -> Box<dyn Regressor + Send + Sync> {
+        (self.build)()
+    }
+}
+
+impl std::fmt::Debug for ModelCandidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ModelCandidate({} / {})", self.kind, self.label)
     }
 }
 
@@ -221,6 +417,52 @@ mod tests {
         assert!(svr
             .iter()
             .any(|p| p.c == 3.5 && p.gamma == 0.055 && p.epsilon == 0.025));
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::parse_cli(kind.cli_name()), Ok(kind));
+        }
+        assert!(ModelKind::parse_cli("perceptron").is_err());
+    }
+
+    #[test]
+    fn small_grids_build_and_respect_budget() {
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 6) as f64, (i % 4) as f64])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| (r[0] * 0.1 + r[1] * 0.2).min(1.0))
+            .collect();
+        for kind in ModelKind::ALL {
+            let grid = kind.small_grid(3);
+            assert!(!grid.is_empty() && grid.len() <= 3, "{kind}");
+            assert_eq!(grid[0].label(), "tuned-default");
+            for candidate in &grid {
+                assert_eq!(candidate.kind(), kind);
+                let mut model = candidate.build();
+                model.fit(&x, &y);
+                assert!(model.predict_one(&x[0]).is_finite(), "{candidate:?}");
+            }
+            // A budget of one keeps only the tuned default.
+            assert_eq!(kind.small_grid(1).len(), 1);
+        }
+    }
+
+    #[test]
+    fn fit_predict_is_deterministic_per_kind() {
+        let x: Vec<Vec<f64>> = (0..24)
+            .map(|i| vec![(i % 5) as f64, (i % 3) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0] * 0.2).min(1.0)).collect();
+        let px: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![4.0, 0.0]];
+        for kind in [ModelKind::RandomForest, ModelKind::Mlp, ModelKind::Knn] {
+            let a = kind.fit_predict(&x, &y, &px);
+            let b = kind.fit_predict(&x, &y, &px);
+            assert_eq!(a, b, "{kind}");
+        }
     }
 
     #[test]

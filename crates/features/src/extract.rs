@@ -5,6 +5,23 @@ use crate::matrix::FeatureMatrix;
 use ffr_netlist::FfId;
 use ffr_sim::{ActivityTrace, CompiledCircuit};
 
+/// Version of the extracted feature schema (column set *and* the
+/// semantics of each column). Any change to [`FEATURE_NAMES`] or to how a
+/// column is computed must bump this: cached feature matrices in the
+/// campaign artifact store are keyed by `(circuit hash, stimulus config,
+/// schema version)`, so a bump cleanly invalidates stale caches instead of
+/// silently feeding old columns to the models.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The cache-key fragment describing this extractor: schema version plus
+/// column count. Campaign store keys embed it so a schema change misses.
+pub fn schema_desc() -> String {
+    format!(
+        "features_schema={SCHEMA_VERSION};cols={}",
+        FEATURE_NAMES.len()
+    )
+}
+
 /// Names of the feature columns, in matrix order.
 ///
 /// Columns 0–17 are *structural*, 18–21 are *synthesis*, 22–24 are

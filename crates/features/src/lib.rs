@@ -23,6 +23,8 @@ mod extract;
 mod graph;
 mod matrix;
 
-pub use extract::{extract_features, extract_structural, FeatureGroup, FEATURE_NAMES};
+pub use extract::{
+    extract_features, extract_structural, schema_desc, FeatureGroup, FEATURE_NAMES, SCHEMA_VERSION,
+};
 pub use graph::FfGraph;
 pub use matrix::FeatureMatrix;

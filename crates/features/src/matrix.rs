@@ -87,6 +87,17 @@ impl FeatureMatrix {
         (0..self.num_rows()).map(|r| self.row(r).to_vec()).collect()
     }
 
+    /// `true` if every value is finite (no NaN/Inf) — the precondition the
+    /// regression models assert on their training data.
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
+    /// The row index of a named flip-flop.
+    pub fn row_index(&self, ff_name: &str) -> Option<usize> {
+        self.ff_names.iter().position(|n| n == ff_name)
+    }
+
     /// Restrict the matrix to the given columns (for feature-group
     /// ablations).
     ///

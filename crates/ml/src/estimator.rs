@@ -52,6 +52,30 @@ impl Regressor for Box<dyn Regressor + Send + Sync> {
     }
 }
 
+/// Fit a fresh model on `(x, y)` and predict `x_predict` in one step — the
+/// train-on-measured / predict-the-rest facade the estimation pipeline is
+/// built on.
+///
+/// The model is consumed: the facade guarantees a *fresh* fit (no state
+/// leaks from a previous `fit`), and every stochastic model in this crate
+/// takes its seed at construction time, so the result is a pure function
+/// of `(model parameters, seed, x, y, x_predict)` — reruns are
+/// bit-identical, which the campaign CLI relies on for byte-identical
+/// estimation reports.
+///
+/// # Panics
+///
+/// Panics on empty/ragged/non-finite training data (see [`Regressor::fit`]).
+pub fn fit_predict<M: Regressor>(
+    mut model: M,
+    x: &[Vec<f64>],
+    y: &[f64],
+    x_predict: &[Vec<f64>],
+) -> Vec<f64> {
+    model.fit(x, y);
+    model.predict(x_predict)
+}
+
 /// Validate a training set; shared by every implementation.
 pub(crate) fn check_training_set(x: &[Vec<f64>], y: &[f64]) {
     assert!(!x.is_empty(), "empty training set");
@@ -101,5 +125,21 @@ mod tests {
     fn ragged_matrix_panics() {
         let mut m = Mean(0.0);
         m.fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn fit_predict_facade_is_deterministic() {
+        use crate::forest::RandomForestRegressor;
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 0.1 + r[1] * 0.2).collect();
+        let px: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, 1.0]).collect();
+        // A stochastic model with a fixed construction seed gives
+        // bit-identical predictions across facade calls.
+        let a = fit_predict(RandomForestRegressor::new(20, 6, 0), &x, &y, &px);
+        let b = fit_predict(RandomForestRegressor::new(20, 6, 0), &x, &y, &px);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.is_finite()));
     }
 }

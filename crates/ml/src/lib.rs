@@ -36,7 +36,7 @@ mod svm;
 mod tree;
 
 pub use boosting::GradientBoostingRegressor;
-pub use estimator::Regressor;
+pub use estimator::{fit_predict, Regressor};
 pub use forest::RandomForestRegressor;
 pub use knn::{Distance, KdTree, KnnRegressor, WeightScheme};
 pub use linalg::Matrix;

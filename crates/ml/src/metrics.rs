@@ -224,4 +224,47 @@ mod tests {
     fn length_mismatch_panics() {
         let _ = mae(&[1.0], &[1.0, 2.0]);
     }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        let _ = rmse(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn score_bundle_on_empty_input_panics() {
+        let _ = RegressionScores::compute(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn r2_length_mismatch_panics() {
+        let _ = r2(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn constant_target_is_well_defined_for_every_metric() {
+        // A constant target makes ss_tot / var(y) vanish; the guarded
+        // definitions must stay finite: R² and EV are 1 for a perfect
+        // (constant-residual) prediction and 0 otherwise, never NaN.
+        let y = [0.3, 0.3, 0.3, 0.3];
+        let cases: [&[f64]; 3] = [
+            &[0.3, 0.3, 0.3, 0.3], // perfect
+            &[0.5, 0.5, 0.5, 0.5], // constant bias
+            &[0.0, 0.6, 0.0, 0.6], // scattered
+        ];
+        for p in cases {
+            let s = RegressionScores::compute(&y, p);
+            for v in [s.mae, s.max, s.rmse, s.ev, s.r2] {
+                assert!(v.is_finite(), "non-finite score for {p:?}");
+            }
+        }
+        assert_eq!(r2(&y, &y), 1.0);
+        assert_eq!(r2(&y, cases[1]), 0.0);
+        assert_eq!(r2(&y, cases[2]), 0.0);
+        // EV sees through a pure constant bias even on a constant target.
+        assert_eq!(explained_variance(&y, cases[1]), 1.0);
+        assert_eq!(explained_variance(&y, cases[2]), 0.0);
+    }
 }

@@ -435,4 +435,54 @@ mod tests {
     fn too_many_folds_panics() {
         let _ = KFold::new(10, 0).split(5);
     }
+
+    /// Every fold's train set is exactly the complement of its test set,
+    /// and the test sets tile `0..n` — each index tested exactly once.
+    fn assert_exact_partition(folds: &[(Vec<usize>, Vec<usize>)], n: usize) {
+        let mut tested = vec![0usize; n];
+        for (train, test) in folds {
+            assert_eq!(train.len() + test.len(), n);
+            let mut seen = vec![false; n];
+            for &i in test {
+                tested[i] += 1;
+                seen[i] = true;
+            }
+            for &i in train {
+                assert!(!seen[i], "index {i} in both train and test");
+                seen[i] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "fold misses an index");
+        }
+        assert!(
+            tested.iter().all(|&c| c == 1),
+            "an index was tested {:?} times",
+            tested.iter().max()
+        );
+    }
+
+    #[test]
+    fn kfold_covers_every_index_exactly_once() {
+        // Uneven sizes included: n not divisible by k.
+        for (n, k) in [(10usize, 2usize), (103, 10), (7, 7), (24, 5)] {
+            assert_exact_partition(&KFold::new(k, 42).split(n), n);
+        }
+    }
+
+    #[test]
+    fn stratified_kfold_covers_every_index_exactly_once() {
+        // Continuous, tied and constant targets (ties exercise the
+        // seeded jitter path).
+        let targets: [Vec<f64>; 3] = [
+            (0..53).map(|i| (i as f64) / 53.0).collect(),
+            (0..40)
+                .map(|i| if i % 2 == 0 { 0.0 } else { 0.9 })
+                .collect(),
+            vec![0.5; 17],
+        ];
+        for y in &targets {
+            for k in [2usize, 5] {
+                assert_exact_partition(&StratifiedKFold::new(k, 3).split(y), y.len());
+            }
+        }
+    }
 }
