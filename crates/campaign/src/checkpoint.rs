@@ -21,10 +21,14 @@ use ffr_fault::{
 use ffr_netlist::{FfId, NetId};
 use serde::{Deserialize, Serialize};
 use std::io;
+use std::ops::Range;
 use std::path::Path;
 
 /// Checkpoint file format version (2: fault-model-generic point records).
 pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Shard checkpoint file format version.
+pub const SHARD_VERSION: u32 = 1;
 
 /// Progress of one injection point's plan.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -263,6 +267,152 @@ impl CampaignCheckpoint {
         }
         serde_json::from_str(&text).map_err(io::Error::other)
     }
+
+    /// Extract the shard covering point indices `range` (a snapshot of
+    /// this checkpoint's records, stamped with the flushing worker's id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the point list.
+    pub fn shard(&self, worker: &str, range: Range<usize>) -> ShardCheckpoint {
+        ShardCheckpoint {
+            version: SHARD_VERSION,
+            fingerprint: self.fingerprint.clone(),
+            worker: worker.to_string(),
+            range_start: range.start,
+            range_end: range.end,
+            points: self.points[range].to_vec(),
+        }
+    }
+
+    /// Merge a shard's records into this checkpoint, point-indexed.
+    ///
+    /// The merge is **deterministic and order-independent**: for every
+    /// point the record with more executed injections wins, and because a
+    /// point's injection plan and stopping decisions are pure functions
+    /// of `(seed, point, window, policy)`, two records with equal
+    /// `injections_done` for the same point are *identical* — no matter
+    /// which worker produced them, or whether an expired lease made two
+    /// workers compute the same range. Merging any set of shards (in any
+    /// order, with any overlap) into the same base therefore yields a
+    /// byte-identical checkpoint, and hence a byte-identical final table.
+    ///
+    /// Returns how many point records the shard advanced.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the shard belongs to a different campaign (fingerprint),
+    /// covers points outside this checkpoint, or its point ids do not
+    /// match the checkpoint's at the same indices.
+    pub fn merge_shard(&mut self, shard: &ShardCheckpoint) -> io::Result<usize> {
+        if shard.fingerprint != self.fingerprint {
+            return Err(io::Error::other(format!(
+                "shard fingerprint {} does not match campaign {}",
+                shard.fingerprint, self.fingerprint
+            )));
+        }
+        if shard.range_end > self.points.len()
+            || shard.range_start > shard.range_end
+            || shard.points.len() != shard.range_end - shard.range_start
+        {
+            return Err(io::Error::other(format!(
+                "shard range {}..{} ({} records) does not fit a {}-point campaign",
+                shard.range_start,
+                shard.range_end,
+                shard.points.len(),
+                self.points.len()
+            )));
+        }
+        let mut advanced = 0;
+        for (offset, record) in shard.points.iter().enumerate() {
+            let index = shard.range_start + offset;
+            let mine = &mut self.points[index];
+            if record.point != mine.point {
+                return Err(io::Error::other(format!(
+                    "shard point id {} at index {index} does not match campaign point id {}",
+                    record.point, mine.point
+                )));
+            }
+            if record.injections_done > mine.injections_done
+                || (record.injections_done == mine.injections_done
+                    && record.complete
+                    && !mine.complete)
+            {
+                *mine = record.clone();
+                advanced += 1;
+            }
+        }
+        Ok(advanced)
+    }
+}
+
+/// A worker's durable progress over one contiguous range of a campaign's
+/// injection points — the unit of crash-safe state in distributed
+/// draining. Each worker flushes only the shards of the lease ranges it
+/// holds (atomic renames, like the main checkpoint), so workers never
+/// contend on one file; [`CampaignCheckpoint::merge_shard`] folds shards
+/// back into the full picture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardCheckpoint {
+    /// Format version ([`SHARD_VERSION`]).
+    pub version: u32,
+    /// Campaign fingerprint this shard belongs to (must match the
+    /// manifest/checkpoint before the records are trusted).
+    pub fingerprint: String,
+    /// Id of the worker that last flushed this shard.
+    pub worker: String,
+    /// First covered point index (into the campaign checkpoint's point
+    /// list — *not* a raw flip-flop/net id).
+    pub range_start: usize,
+    /// One past the last covered point index.
+    pub range_end: usize,
+    /// Progress records for points `range_start..range_end`.
+    pub points: Vec<PointProgress>,
+}
+
+impl ShardCheckpoint {
+    /// The covered point-index range.
+    pub fn range(&self) -> Range<usize> {
+        self.range_start..self.range_end
+    }
+
+    /// `true` once every point in the shard is retired.
+    pub fn is_complete(&self) -> bool {
+        self.points.iter().all(|p| p.complete)
+    }
+
+    /// Number of retired points in the shard.
+    pub fn completed_points(&self) -> usize {
+        self.points.iter().filter(|p| p.complete).count()
+    }
+
+    /// Serialize to JSON at `path` via a temp file + atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        crate::store::atomic_write(path, &json)
+    }
+
+    /// Load a shard written by [`ShardCheckpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, undecodable files, or a version mismatch.
+    pub fn load(path: &Path) -> io::Result<ShardCheckpoint> {
+        let text = std::fs::read_to_string(path)?;
+        match crate::store::probe_version(&text) {
+            Some(v) if v != SHARD_VERSION as u64 => {
+                return Err(io::Error::other(format!(
+                    "shard version {v} unsupported (expected {SHARD_VERSION})"
+                )))
+            }
+            _ => {}
+        }
+        serde_json::from_str(&text).map_err(io::Error::other)
+    }
 }
 
 #[cfg(test)]
@@ -389,6 +539,86 @@ mod tests {
         assert_eq!(table.fdr(FfId::from_index(1)), Some(0.25));
         assert_eq!(table.fdr(FfId::from_index(0)), None);
         assert_eq!(table.fdr(FfId::from_index(5)), None);
+    }
+
+    fn progressed(cp: &CampaignCheckpoint, index: usize, injections: usize) -> CampaignCheckpoint {
+        let mut cp = cp.clone();
+        cp.points[index].counts[FailureClass::Benign.tally_index()] = injections;
+        cp.points[index].injections_done = injections;
+        cp.points[index].complete = injections >= 128;
+        cp
+    }
+
+    #[test]
+    fn shard_slice_merge_round_trip() {
+        let base = CampaignCheckpoint::fresh_seu("k".into(), params(FaultKind::Seu), 6);
+        let worked = progressed(&progressed(&base, 2, 128), 3, 64);
+        let shard = worked.shard("w1", 2..4);
+        assert_eq!(shard.worker, "w1");
+        assert_eq!(shard.range(), 2..4);
+        assert_eq!(shard.completed_points(), 1);
+        assert!(!shard.is_complete());
+
+        // Merging the shard into a fresh base reproduces the progress.
+        let mut merged = base.clone();
+        assert_eq!(merged.merge_shard(&shard).unwrap(), 2);
+        assert_eq!(merged, worked);
+        // Idempotent: merging again advances nothing and changes nothing.
+        assert_eq!(merged.merge_shard(&shard).unwrap(), 0);
+        assert_eq!(merged, worked);
+    }
+
+    #[test]
+    fn shard_merge_is_order_independent_and_prefers_progress() {
+        let base = CampaignCheckpoint::fresh_seu("k".into(), params(FaultKind::Seu), 4);
+        // Two overlapping shards of the same deterministic campaign: one
+        // worker got further into point 1's plan than the other.
+        let early = progressed(&base, 1, 64).shard("w1", 0..2);
+        let late = progressed(&base, 1, 128).shard("w2", 1..3);
+        let mut ab = base.clone();
+        ab.merge_shard(&early).unwrap();
+        ab.merge_shard(&late).unwrap();
+        let mut ba = base.clone();
+        ba.merge_shard(&late).unwrap();
+        ba.merge_shard(&early).unwrap();
+        assert_eq!(ab, ba, "merge order must not matter");
+        assert_eq!(ab.points[1].injections_done, 128);
+        assert!(ab.points[1].complete);
+    }
+
+    #[test]
+    fn shard_merge_rejects_foreign_or_misaligned_shards() {
+        let mut cp = CampaignCheckpoint::fresh_seu("k".into(), params(FaultKind::Seu), 4);
+        let foreign = CampaignCheckpoint::fresh_seu("other".into(), params(FaultKind::Seu), 4)
+            .shard("w", 0..2);
+        assert!(cp.merge_shard(&foreign).is_err(), "fingerprint mismatch");
+
+        let mut oversized = cp.shard("w", 2..4);
+        oversized.range_end = 9;
+        assert!(cp.merge_shard(&oversized).is_err(), "range out of bounds");
+
+        // A budgeted campaign over different point ids at the same
+        // indices must be rejected even with a (forged) fingerprint.
+        let mut wrong_ids =
+            CampaignCheckpoint::fresh("k".into(), params(FaultKind::Seu), [7u32, 8, 9, 10])
+                .shard("w", 0..2);
+        wrong_ids.fingerprint = "k".into();
+        assert!(cp.merge_shard(&wrong_ids).is_err(), "point-id mismatch");
+    }
+
+    #[test]
+    fn shard_save_load_round_trip_and_version_guard() {
+        let dir = std::env::temp_dir().join(format!("ffr_shard_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard.json");
+        let cp = CampaignCheckpoint::fresh_seu("k".into(), params(FaultKind::Seu), 5);
+        let shard = progressed(&cp, 3, 128).shard("w9", 2..5);
+        shard.save(&path).unwrap();
+        assert_eq!(ShardCheckpoint::load(&path).unwrap(), shard);
+
+        std::fs::write(&path, r#"{"version":99,"fingerprint":"k"}"#).unwrap();
+        let err = ShardCheckpoint::load(&path).unwrap_err();
+        assert!(err.to_string().contains("version 99 unsupported"), "{err}");
     }
 
     #[test]

@@ -4,11 +4,14 @@
 //!
 //! * `ffr run`      — start a checkpointed campaign on a named circuit,
 //! * `ffr resume`   — continue an interrupted campaign session,
-//! * `ffr status`   — progress of a session directory,
+//! * `ffr worker`   — drain a campaign as one worker of a distributed
+//!   fleet (lease-based work distribution over a shared directory),
+//! * `ffr status`   — progress of a session directory (including
+//!   per-worker leases and shards; `--json` for machine consumption),
 //! * `ffr estimate` — ML model selection + FDR prediction for the
 //!   flip-flops a budgeted campaign did not measure,
 //! * `ffr report`   — render the finished FDR table (and estimate),
-//! * `ffr gc`       — sweep the artifact store.
+//! * `ffr gc`       — sweep the artifact store and/or expired leases.
 //!
 //! Argument parsing is hand-rolled (`--flag value` pairs) to stay
 //! dependency-free; [`main_with_args`] returns the process exit code so
@@ -18,11 +21,13 @@ use crate::adaptive::AdaptivePolicy;
 use crate::checkpoint::CampaignCheckpoint;
 use crate::estimate::{self, EstimateOptions, EstimateReport};
 use crate::runner::{CancelToken, RunOutcome, RunnerOptions};
-use crate::session::{self, CampaignManifest, RunRequest, SessionPaths};
+use crate::session::{self, CampaignManifest, RunRequest, SessionPaths, WorkerRequest};
 use crate::spec::CircuitSpec;
 use crate::store::ArtifactStore;
+use crate::work;
 use ffr_core::ModelKind;
 use ffr_fault::{FailureClass, FaultKind, FdrTable, SetDeratingTable};
+use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -33,11 +38,26 @@ ffr — functional-failure-rate campaign orchestration
 USAGE:
     ffr run      --circuit <name> --out <dir> [options]
     ffr resume   --out <dir> [--threads N] [--stop-after-points N]
-    ffr status   --out <dir>
+    ffr worker   --campaign <dir> --worker-id <id> [worker options]
+    ffr status   --out <dir> [--json]
     ffr estimate --out <dir> [estimate options]
     ffr estimate --circuit <name> --store <dir> [run options] [estimate options]
     ffr report   --out <dir>
-    ffr gc       --store <dir> [--max-age-days D | --all]
+    ffr gc       [--store <dir>] [--max-age-days D | --all] [--campaign <dir>]
+
+WORKER OPTIONS:
+    --campaign <dir>        shared campaign session directory (all workers
+                            of one campaign point at the same directory)
+    --worker-id <id>        stable worker identity (lease ownership; reuse
+                            after a crash to reclaim own leases instantly)
+    --store <dir>           artifact store for this worker (golden-run
+                            cache)     [default: the manifest's store]
+    --lease-points <n>      points per lease range          [default: 16]
+    --lease-ttl-secs <n>    lease expiry without heartbeat  [default: 30]
+    --poll-ms <n>           rescan interval while other workers hold the
+                            remaining leases                [default: 200]
+    run options (--circuit, --fault, --seed, …) passed to the first worker
+    bootstrap an uninitialized campaign directory
 
 RUN OPTIONS:
     --circuit <name>        counter | lfsr | alu | traffic | mac-small | mac
@@ -95,6 +115,10 @@ impl Args {
     fn take(&mut self, name: &str) -> Option<Option<String>> {
         let idx = self.flags.iter().position(|(n, _)| n == name)?;
         Some(self.flags.remove(idx).1)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
     }
 
     fn value(&mut self, name: &str) -> Result<Option<String>, String> {
@@ -213,6 +237,9 @@ fn print_summary(summary: &session::RunSummary) {
         RunOutcome::Cancelled => {
             println!("campaign interrupted — continue with `ffr resume --out <dir>`");
         }
+        RunOutcome::Drained => {
+            println!("work source drained — remaining points belong to other workers");
+        }
     }
 }
 
@@ -277,7 +304,7 @@ fn cmd_run(mut args: Args) -> Result<i32, String> {
     print_summary(&summary);
     Ok(match summary.outcome {
         RunOutcome::Complete => 0,
-        RunOutcome::Cancelled => 2,
+        RunOutcome::Cancelled | RunOutcome::Drained => 2,
     })
 }
 
@@ -290,46 +317,307 @@ fn cmd_resume(mut args: Args) -> Result<i32, String> {
     print_summary(&summary);
     Ok(match summary.outcome {
         RunOutcome::Complete => 0,
-        RunOutcome::Cancelled => 2,
+        RunOutcome::Cancelled | RunOutcome::Drained => 2,
     })
+}
+
+/// One lease as reported by `ffr status`.
+#[derive(Debug, Clone, Serialize)]
+struct LeaseStatus {
+    range_start: usize,
+    range_end: usize,
+    worker: String,
+    /// Seconds until expiry (negative once expired).
+    expires_in_secs: i64,
+    expired: bool,
+}
+
+/// One worker's aggregate progress as reported by `ffr status`.
+#[derive(Debug, Clone, Serialize)]
+struct WorkerStatus {
+    worker: String,
+    active_leases: usize,
+    stale_leases: usize,
+    shards: usize,
+    retired_points: usize,
+}
+
+/// Campaign-level progress as reported by `ffr status`.
+#[derive(Debug, Clone, Serialize)]
+struct ProgressStatus {
+    completed_points: usize,
+    total_points: usize,
+    injections: usize,
+    complete: bool,
+}
+
+/// The full `ffr status` report (also the `--json` document).
+#[derive(Debug, Serialize)]
+struct StatusReport {
+    session: String,
+    circuit: String,
+    fault: String,
+    seed: u64,
+    policy: String,
+    fingerprint: String,
+    /// Merged progress (base checkpoint + every shard); `None` before the
+    /// campaign has any checkpoint or shard.
+    progress: Option<ProgressStatus>,
+    /// Per-worker breakdown of distributed draining (empty for
+    /// single-process sessions).
+    workers: Vec<WorkerStatus>,
+    leases: Vec<LeaseStatus>,
+    shard_count: usize,
+    complete_shards: usize,
+    table: Option<String>,
+}
+
+/// Assemble the status of a session directory: manifest facts plus a
+/// merged view of the single-process checkpoint and any worker shards.
+/// Returns the fault model alongside for fault-dependent rendering.
+fn gather_status(out: &std::path::Path) -> Result<(StatusReport, FaultKind), String> {
+    let paths = SessionPaths::new(out);
+    let manifest = CampaignManifest::load(&paths.manifest()).map_err(|e| e.to_string())?;
+    let shards = work::list_shards(&paths.shards_dir()).map_err(|e| e.to_string())?;
+    let lease_files = work::list_leases(&paths.leases_dir()).map_err(|e| e.to_string())?;
+    let now = work::unix_now();
+
+    // Progress: merge every shard into the base checkpoint when one
+    // exists; otherwise aggregate over the shards alone (worker-only
+    // sessions have no checkpoint.json until completion).
+    let progress = match CampaignCheckpoint::load(&paths.checkpoint()) {
+        Ok(mut cp) => {
+            for shard in &shards {
+                // Foreign/stale shards are a display concern here, not a
+                // hard error — skip them.
+                let _ = cp.merge_shard(shard);
+            }
+            Some(ProgressStatus {
+                completed_points: cp.completed_points(),
+                total_points: cp.num_points,
+                injections: cp.total_injections(),
+                complete: cp.is_complete(),
+            })
+        }
+        Err(_) if !shards.is_empty() => {
+            // Deduplicate by point index: workers launched with different
+            // --lease-points leave overlapping shards (same progress,
+            // different range cuts), which a plain sum would double-count.
+            let mut per_point: std::collections::HashMap<usize, (bool, usize)> =
+                std::collections::HashMap::new();
+            for shard in &shards {
+                for (offset, record) in shard.points.iter().enumerate() {
+                    let entry = per_point
+                        .entry(shard.range_start + offset)
+                        .or_insert((false, 0));
+                    entry.0 |= record.complete;
+                    entry.1 = entry.1.max(record.injections_done);
+                }
+            }
+            Some(ProgressStatus {
+                completed_points: per_point.values().filter(|(complete, _)| *complete).count(),
+                // Shards cover claimed ranges only; unclaimed ranges are
+                // invisible without re-deriving the circuit, so this is a
+                // lower bound on the total.
+                total_points: per_point.len(),
+                injections: per_point.values().map(|(_, injections)| injections).sum(),
+                complete: false,
+            })
+        }
+        Err(_) => None,
+    };
+
+    let leases: Vec<LeaseStatus> = lease_files
+        .iter()
+        .filter_map(|info| {
+            let record = info.record.as_ref()?;
+            Some(LeaseStatus {
+                range_start: record.range_start,
+                range_end: record.range_end,
+                worker: record.worker.clone(),
+                expires_in_secs: record.expires_unix as i64 - now as i64,
+                expired: record.is_expired(now),
+            })
+        })
+        .collect();
+
+    // Per-worker rollup across leases and shard provenance.
+    let mut workers: Vec<WorkerStatus> = Vec::new();
+    let worker_entry = |workers: &mut Vec<WorkerStatus>, id: &str| -> usize {
+        match workers.iter().position(|w| w.worker == id) {
+            Some(i) => i,
+            None => {
+                workers.push(WorkerStatus {
+                    worker: id.to_string(),
+                    active_leases: 0,
+                    stale_leases: 0,
+                    shards: 0,
+                    retired_points: 0,
+                });
+                workers.len() - 1
+            }
+        }
+    };
+    for lease in &leases {
+        let i = worker_entry(&mut workers, &lease.worker);
+        if lease.expired {
+            workers[i].stale_leases += 1;
+        } else {
+            workers[i].active_leases += 1;
+        }
+    }
+    for shard in &shards {
+        let i = worker_entry(&mut workers, &shard.worker);
+        workers[i].shards += 1;
+        workers[i].retired_points += shard.completed_points();
+    }
+    workers.sort_by(|a, b| a.worker.cmp(&b.worker));
+
+    let table = paths.table_json(manifest.fault);
+    let report = StatusReport {
+        session: out.display().to_string(),
+        circuit: manifest.circuit.clone(),
+        fault: manifest.fault.to_string(),
+        seed: manifest.seed,
+        policy: manifest.policy.describe(),
+        fingerprint: manifest.fingerprint.clone(),
+        progress,
+        workers,
+        complete_shards: shards.iter().filter(|s| s.is_complete()).count(),
+        shard_count: shards.len(),
+        leases,
+        table: table.exists().then(|| table.display().to_string()),
+    };
+    Ok((report, manifest.fault))
 }
 
 fn cmd_status(mut args: Args) -> Result<i32, String> {
     let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
+    let json = args.present("json")?;
     args.finish()?;
-    let paths = SessionPaths::new(&out);
-    let manifest = CampaignManifest::load(&paths.manifest()).map_err(|e| e.to_string())?;
-    println!("campaign session {}", out.display());
-    println!("  circuit:     {}", manifest.circuit);
-    println!("  fault:       {}", manifest.fault);
-    println!("  seed:        {}", manifest.seed);
-    println!("  policy:      {}", manifest.policy.describe());
-    println!("  fingerprint: {}", manifest.fingerprint);
-    match CampaignCheckpoint::load(&paths.checkpoint()) {
-        Ok(cp) => {
+    let (report, fault) = gather_status(&out)?;
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(0);
+    }
+    println!("campaign session {}", report.session);
+    println!("  circuit:     {}", report.circuit);
+    println!("  fault:       {}", report.fault);
+    println!("  seed:        {}", report.seed);
+    println!("  policy:      {}", report.policy);
+    println!("  fingerprint: {}", report.fingerprint);
+    let noun = point_noun(fault);
+    match &report.progress {
+        Some(p) => {
             println!(
-                "  progress:    {}/{} {} retired, {} injections",
-                cp.completed_points(),
-                cp.num_points,
-                point_noun(manifest.fault),
-                cp.total_injections()
+                "  progress:    {}/{} {noun} retired, {} injections",
+                p.completed_points, p.total_points, p.injections
             );
             println!(
                 "  state:       {}",
-                if cp.is_complete() {
+                if p.complete {
                     "complete"
                 } else {
-                    "resumable (run `ffr resume`)"
+                    "resumable (run `ffr resume` or `ffr worker`)"
                 }
             );
         }
-        Err(_) => println!("  progress:    not started"),
+        None => println!("  progress:    not started"),
     }
-    let table = paths.table_json(manifest.fault);
-    if table.exists() {
-        println!("  results:     {}", table.display());
+    if report.shard_count > 0 {
+        println!(
+            "  shards:      {} ({} complete)",
+            report.shard_count, report.complete_shards
+        );
+    }
+    for w in &report.workers {
+        println!(
+            "  worker {:<12} {} active lease(s), {} shard(s), {} points retired",
+            format!("{}:", w.worker),
+            w.active_leases,
+            w.shards,
+            w.retired_points
+        );
+    }
+    for lease in report.leases.iter().filter(|l| l.expired) {
+        println!(
+            "  WARNING: stale lease on points {}..{} (worker {}, expired {}s ago) — \
+             reclaimed by the next worker, or sweep with `ffr gc --campaign`",
+            lease.range_start, lease.range_end, lease.worker, -lease.expires_in_secs
+        );
+    }
+    if let Some(table) = &report.table {
+        println!("  results:     {table}");
     }
     Ok(0)
+}
+
+fn cmd_worker(mut args: Args) -> Result<i32, String> {
+    let out: PathBuf = args
+        .value("campaign")?
+        .ok_or("--campaign is required")?
+        .into();
+    let worker_id = args.value("worker-id")?.ok_or("--worker-id is required")?;
+    if worker_id.is_empty() {
+        return Err("--worker-id must not be empty".into());
+    }
+    let mut request = WorkerRequest::new(worker_id);
+    if let Some(n) = args.parsed::<usize>("lease-points")? {
+        if n == 0 {
+            return Err("--lease-points must be positive".into());
+        }
+        request.lease_points = n;
+    }
+    if let Some(n) = args.parsed::<u64>("lease-ttl-secs")? {
+        if n == 0 {
+            return Err("--lease-ttl-secs must be positive".into());
+        }
+        request.lease_ttl = Duration::from_secs(n);
+    }
+    if let Some(n) = args.parsed::<u64>("poll-ms")? {
+        request.poll = Duration::from_millis(n.max(1));
+    }
+    let options = runner_options(&mut args)?;
+    // `--store` is honoured with or without bootstrap flags: a worker
+    // attaching to an `ffr run`-initialized campaign still wants golden
+    // runs cached.
+    request.store = args.value("store")?.map(PathBuf::from);
+    if args.has("circuit") {
+        let mut init = run_request_from_args(&mut args)?;
+        init.store = request.store.clone();
+        request.init = Some(init);
+    }
+    args.finish()?;
+
+    let summary = session::worker(
+        &out,
+        &request,
+        &options,
+        &CancelToken::new(),
+        progress_printer(),
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!();
+    let noun = point_noun(summary.fault);
+    println!(
+        "worker progress: {}/{} {noun} retired, {} injections, {} shard(s) merged",
+        summary.completed_points,
+        summary.total_points,
+        summary.total_injections,
+        summary.merged_shards
+    );
+    if summary.campaign_complete {
+        if let Some(path) = &summary.table_path {
+            println!("campaign complete — table written to {}", path.display());
+        }
+        Ok(0)
+    } else {
+        println!("campaign incomplete — rerun `ffr worker` (or `ffr resume`) to continue");
+        Ok(2)
+    }
 }
 
 /// Parse the `ffr estimate`-specific flags (everything except `--out` /
@@ -475,26 +763,50 @@ fn cmd_report(mut args: Args) -> Result<i32, String> {
 }
 
 fn cmd_gc(mut args: Args) -> Result<i32, String> {
-    let store_dir: PathBuf = args.value("store")?.ok_or("--store is required")?.into();
+    let store_dir = args.value("store")?.map(PathBuf::from);
+    let campaign_dir = args.value("campaign")?.map(PathBuf::from);
     let max_age_days = args.parsed::<u64>("max-age-days")?;
     let all = args.present("all")?;
     args.finish()?;
+    if store_dir.is_none() && campaign_dir.is_none() {
+        return Err("pass --store <dir> and/or --campaign <dir>".into());
+    }
     if all && max_age_days.is_some() {
         return Err("--all and --max-age-days are mutually exclusive".into());
     }
-    let max_age = if all {
-        None
-    } else {
-        Some(Duration::from_secs(
-            60 * 60 * 24 * max_age_days.unwrap_or(30),
-        ))
-    };
-    let store = ArtifactStore::open(&store_dir).map_err(|e| e.to_string())?;
-    let report = store.gc(max_age).map_err(|e| e.to_string())?;
-    println!(
-        "gc: removed {} artifacts ({} bytes), kept {}",
-        report.removed, report.reclaimed_bytes, report.kept
-    );
+    if store_dir.is_none() && (all || max_age_days.is_some()) {
+        return Err("--all / --max-age-days apply to --store sweeps".into());
+    }
+    if let Some(store_dir) = store_dir {
+        let max_age = if all {
+            None
+        } else {
+            Some(Duration::from_secs(
+                60 * 60 * 24 * max_age_days.unwrap_or(30),
+            ))
+        };
+        let store = ArtifactStore::open(&store_dir).map_err(|e| e.to_string())?;
+        let report = store.gc(max_age).map_err(|e| e.to_string())?;
+        println!(
+            "gc: removed {} artifacts ({} bytes), kept {}",
+            report.removed, report.reclaimed_bytes, report.kept
+        );
+    }
+    if let Some(campaign_dir) = campaign_dir {
+        let paths = SessionPaths::new(&campaign_dir);
+        let (removed, kept) =
+            work::sweep_expired_leases(&paths.leases_dir()).map_err(|e| e.to_string())?;
+        println!("gc: removed {removed} expired lease(s), kept {kept} live");
+        // Once the merged checkpoint is durably complete, the per-range
+        // shards are a redundant copy of its point records.
+        let complete = CampaignCheckpoint::load(&paths.checkpoint())
+            .map(|cp| cp.is_complete())
+            .unwrap_or(false);
+        if complete {
+            let shards = work::sweep_shards(&paths.shards_dir()).map_err(|e| e.to_string())?;
+            println!("gc: removed {shards} shard checkpoint(s) of the completed campaign");
+        }
+    }
     Ok(0)
 }
 
@@ -514,6 +826,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
     let result = match command.as_str() {
         "run" => cmd_run(parsed),
         "resume" => cmd_resume(parsed),
+        "worker" => cmd_worker(parsed),
         "status" => cmd_status(parsed),
         "estimate" => cmd_estimate(parsed),
         "report" => cmd_report(parsed),

@@ -24,9 +24,23 @@
 //!   soon as the Wilson confidence interval on its failure fraction is
 //!   tight enough, typically cutting campaign cost severalfold on bimodal
 //!   populations.
-//! * **Work stealing** ([`runner`]) — workers claim injection points from
-//!   a shared cursor, so adaptive stopping and early convergence exit do
-//!   not leave threads idle behind a static partition.
+//! * **Pluggable work distribution** ([`work`], [`runner`]) — the runner
+//!   is generic over a [`WorkSource`]: threads claim
+//!   injection points from the in-process work-stealing cursor
+//!   ([`work::CursorSource`]), so adaptive stopping and early convergence
+//!   exit do not leave threads idle behind a static partition.
+//! * **Distributed campaigns** ([`work::LeaseQueue`], `ffr worker`) —
+//!   several worker processes (machines, over a shared filesystem) drain
+//!   one campaign by leasing point ranges from the session directory:
+//!   lease records carry worker id, expiry and heartbeats; expired leases
+//!   are reclaimed; each worker flushes per-range shard checkpoints that
+//!   merge deterministically — the final table is **byte-identical** to a
+//!   single-process run, no matter how work was distributed (or
+//!   duplicated by lease-reclaim races).
+//! * **Compressed artifacts** ([`codec`], [`store`]) — bulky golden-run
+//!   artifacts are stored as version-2 envelopes with a
+//!   deflate-compressed payload; v1 JSON payloads read back
+//!   transparently.
 //! * **ML-assisted estimation** ([`estimate`]) — `ffr run --budget 0.4`
 //!   measures a seeded flip-flop subset; `ffr estimate` cross-validates
 //!   the paper's regression models on the measured FDRs, predicts every
@@ -43,16 +57,21 @@
 pub mod adaptive;
 pub mod checkpoint;
 pub mod cli;
+pub mod codec;
 pub mod estimate;
 pub mod runner;
 pub mod session;
 pub mod spec;
 pub mod store;
+pub mod work;
 
 pub use adaptive::{AdaptivePolicy, CHUNK_INJECTIONS};
-pub use checkpoint::{CampaignCheckpoint, CheckpointParams, PointProgress};
+pub use checkpoint::{CampaignCheckpoint, CheckpointParams, PointProgress, ShardCheckpoint};
 pub use estimate::{EstimateOptions, EstimateReport, EstimateSummary, FfEstimateRow, ModelReport};
-pub use runner::{run_resumable, CancelToken, RunOutcome, RunnerOptions};
-pub use session::{CampaignManifest, RunRequest, RunSummary, SessionPaths};
+pub use runner::{run_resumable, run_with_source, CancelToken, RunOutcome, RunnerOptions};
+pub use session::{
+    CampaignManifest, RunRequest, RunSummary, SessionPaths, WorkerRequest, WorkerSummary,
+};
 pub use spec::{CircuitSpec, PreparedCircuit};
 pub use store::{ArtifactInfo, ArtifactKind, ArtifactStore, GcReport, StoreKey};
+pub use work::{CursorSource, LeaseQueue, LeaseRecord, WorkSource};

@@ -1,34 +1,39 @@
-//! The checkpointed, work-stealing campaign runner.
+//! The checkpointed campaign runner, generic over work distribution.
 //!
 //! Injection points (flip-flops for SEU campaigns, combinational nets for
-//! SET campaigns) are claimed by worker threads in small chunks off a
-//! shared atomic cursor (work stealing) rather than split statically:
-//! per-point cost varies wildly once adaptive stopping and early
-//! convergence exit are in play, and a static split would leave workers
-//! idle behind the unlucky one. Each worker runs one point's injection
+//! SET campaigns) are claimed by worker threads in chunks from a
+//! [`WorkSource`] — the in-process work-stealing
+//! cursor for `ffr run`/`ffr resume`, or the store-backed
+//! [`LeaseQueue`](crate::work::LeaseQueue) for multi-process `ffr worker`
+//! draining. Per-point cost varies wildly once adaptive stopping and
+//! early convergence exit are in play, so chunks are claimed dynamically
+//! rather than split statically. Each worker runs one point's injection
 //! plan in 64-injection batches, consulting the [`AdaptivePolicy`] after
 //! every batch, and writes progress back into the shared
 //! [`CampaignCheckpoint`]; every `checkpoint_every` retirements the
 //! checkpoint is flushed through the caller's sink (typically
-//! [`CampaignCheckpoint::save`]).
+//! [`CampaignCheckpoint::save`], or per-shard flushes in worker mode).
 //!
 //! # Determinism
 //!
 //! A point's injection plan and stopping decisions depend only on
-//! `(seed, point, window, policy)` — never on scheduling. Killing the run
-//! at any point and resuming from the last flushed checkpoint therefore
-//! produces a final [`FdrTable`](ffr_fault::FdrTable) (or
+//! `(seed, point, window, policy)` — never on scheduling. The work source
+//! decides *who* computes a point, never *what* it computes. Killing the
+//! run at any moment and resuming from the last flushed checkpoint — or
+//! draining the same campaign with any number of worker processes —
+//! therefore produces a final [`FdrTable`](ffr_fault::FdrTable) (or
 //! [`SetDeratingTable`](ffr_fault::SetDeratingTable)) bit-identical to an
-//! uninterrupted run; the integration tests assert this byte-for-byte for
-//! both fault models.
+//! uninterrupted single-process run; the integration tests assert this
+//! byte-for-byte for both fault models and both deployment shapes.
 //!
 //! [`AdaptivePolicy`]: crate::adaptive::AdaptivePolicy
 
 use crate::checkpoint::{CampaignCheckpoint, PointProgress};
+use crate::work::{CursorSource, WorkSource};
 use ffr_fault::{sample_injection_times, Campaign, CampaignConfig, FailureJudge, FaultKind};
 use ffr_sim::Stimulus;
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cooperative cancellation handle (cloneable; e.g. wired to Ctrl-C).
@@ -78,7 +83,7 @@ impl Default for RunnerOptions {
     }
 }
 
-/// How a [`run_resumable`] invocation ended.
+/// How a [`run_resumable`] / [`run_with_source`] invocation ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
     /// Every injection point is retired; the checkpoint holds the full
@@ -87,11 +92,19 @@ pub enum RunOutcome {
     /// Cancelled (token or `stop_after_points`); the checkpoint holds a
     /// resumable partial campaign.
     Cancelled,
+    /// The work source is drained but this process's checkpoint is not
+    /// complete: other workers computed (or are publishing) the remaining
+    /// points. Only distributed sources produce this — the caller should
+    /// merge the on-disk shards to obtain the full campaign.
+    Drained,
 }
 
 struct Shared<'a, Sink> {
     checkpoint: &'a mut CampaignCheckpoint,
     sink: Sink,
+    /// Running count of complete points (kept in sync so per-retirement
+    /// progress reporting stays O(1) instead of rescanning the list).
+    completed: usize,
     retired_since_flush: usize,
     retired_this_run: usize,
     io_error: Option<io::Error>,
@@ -110,11 +123,11 @@ impl<Sink: FnMut(&CampaignCheckpoint) -> io::Result<()>> Shared<'_, Sink> {
 }
 
 /// Drive a checkpointed campaign (fresh or resumed) to completion or
-/// cancellation.
+/// cancellation, claiming work off the in-process work-stealing cursor.
 ///
 /// `sink` is invoked with the current checkpoint under the progress lock —
 /// it must not call back into the runner. `progress` receives
-/// `(retired_ffs, total_ffs)` after every retirement.
+/// `(retired_points, total_points)` after every retirement.
 ///
 /// # Errors
 ///
@@ -135,6 +148,47 @@ pub fn run_resumable<S, J>(
 where
     S: Stimulus + Sync,
     J: FailureJudge,
+{
+    let source = CursorSource::new(checkpoint, options.steal_chunk);
+    run_with_source(
+        campaign, checkpoint, &source, options, cancel, sink, progress,
+    )
+}
+
+/// Drive a checkpointed campaign with an explicit [`WorkSource`] — the
+/// generic engine behind [`run_resumable`] (cursor source) and
+/// `ffr worker` ([`LeaseQueue`](crate::work::LeaseQueue)).
+///
+/// Worker threads claim chunks of point indices from `source`, let it
+/// [`hydrate`](WorkSource::hydrate) externally persisted progress for the
+/// chunk, run each not-yet-retired point's injection plan, and notify the
+/// source via [`chunk_done`](WorkSource::chunk_done) once the whole chunk
+/// is retired. `sink` flushes the checkpoint every `checkpoint_every`
+/// retirements and once at the end.
+///
+/// # Errors
+///
+/// Propagates the first error the sink or the work source reports. On any
+/// error the cancel token is triggered so blocking sources (a lease queue
+/// polling for other workers) unwind promptly.
+///
+/// # Panics
+///
+/// Panics if the checkpoint's injection points do not fit the campaign's
+/// circuit.
+pub fn run_with_source<S, J, W>(
+    campaign: &Campaign<'_, S, J>,
+    checkpoint: &mut CampaignCheckpoint,
+    source: &W,
+    options: &RunnerOptions,
+    cancel: &CancelToken,
+    sink: impl FnMut(&CampaignCheckpoint) -> io::Result<()> + Send,
+    progress: impl Fn(usize, usize) + Sync,
+) -> io::Result<RunOutcome>
+where
+    S: Stimulus + Sync,
+    J: FailureJudge,
+    W: WorkSource,
 {
     // Budgeted campaigns cover a point subset, so the guard is on point
     // ids fitting the circuit, not on an exact count match.
@@ -160,17 +214,8 @@ where
         .with_injections(policy.max_injections)
         .with_seed(params.seed);
 
-    // Work list: indices of injection points not yet retired.
-    let pending: Vec<usize> = checkpoint
-        .points
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| !p.complete)
-        .map(|(i, _)| i)
-        .collect();
     let total = checkpoint.num_points;
-    let already_retired = total - pending.len();
-    if pending.is_empty() {
+    if checkpoint.is_complete() {
         return Ok(RunOutcome::Complete);
     }
 
@@ -181,16 +226,23 @@ where
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
-        .clamp(1, pending.len());
-    let steal_chunk = options.steal_chunk.max(1);
-    let cursor = AtomicUsize::new(0);
+        .clamp(1, source.parallelism_hint());
     let shared = Mutex::new(Shared {
+        completed: checkpoint.completed_points(),
         checkpoint: &mut *checkpoint,
         sink,
         retired_since_flush: 0,
         retired_this_run: 0,
         io_error: None,
     });
+    // Record an error and wake everything up: blocking sources poll the
+    // cancel token, so a sink/source failure must trip it to unwind.
+    let fail = |guard: &mut Shared<'_, _>, e: io::Error| {
+        if guard.io_error.is_none() {
+            guard.io_error = Some(e);
+        }
+        cancel.cancel();
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -198,18 +250,43 @@ where
                 if cancel.is_cancelled() {
                     return;
                 }
-                let start = cursor.fetch_add(steal_chunk, Ordering::Relaxed);
-                if start >= pending.len() {
-                    return;
-                }
-                let claimed = &pending[start..(start + steal_chunk).min(pending.len())];
-                for &point_index in claimed {
-                    if cancel.is_cancelled() {
+                let chunk = match source.claim() {
+                    Ok(c) => c,
+                    Err(e) => {
+                        fail(&mut shared.lock().expect("progress lock poisoned"), e);
                         return;
                     }
-                    // Snapshot this point's progress. Only one worker ever
-                    // touches a given point (the cursor hands out disjoint
-                    // ranges), so the snapshot cannot go stale.
+                };
+                if chunk.is_empty() {
+                    return;
+                }
+                {
+                    // Overlay externally persisted progress (another
+                    // worker's shard) before touching the chunk.
+                    let mut guard = shared.lock().expect("progress lock poisoned");
+                    if guard.io_error.is_some() {
+                        return;
+                    }
+                    let complete_in = |cp: &CampaignCheckpoint| {
+                        chunk.iter().filter(|&&i| cp.points[i].complete).count()
+                    };
+                    let before = complete_in(guard.checkpoint);
+                    if let Err(e) = source.hydrate(&chunk, guard.checkpoint) {
+                        fail(&mut guard, e);
+                        return;
+                    }
+                    guard.completed += complete_in(guard.checkpoint) - before;
+                }
+                let mut chunk_retired = true;
+                for &point_index in &chunk {
+                    if cancel.is_cancelled() {
+                        chunk_retired = false;
+                        break;
+                    }
+                    // Snapshot this point's progress. Only one worker of
+                    // this process ever touches a given point (the source
+                    // hands out disjoint chunks), so the snapshot cannot
+                    // go stale.
                     let (mut record, point): (PointProgress, _) = {
                         let guard = shared.lock().expect("progress lock poisoned");
                         if guard.io_error.is_some() {
@@ -220,6 +297,11 @@ where
                             guard.checkpoint.point(point_index),
                         )
                     };
+                    if record.complete {
+                        // Already retired (hydrated from another worker's
+                        // shard): nothing to compute.
+                        continue;
+                    }
                     let times = sample_injection_times(
                         params.seed,
                         point.stream(),
@@ -247,7 +329,8 @@ where
                     if retired {
                         guard.retired_since_flush += 1;
                         guard.retired_this_run += 1;
-                        progress(already_retired + guard.retired_this_run, total);
+                        guard.completed += 1;
+                        progress(guard.completed, total);
                         if guard.retired_since_flush >= options.checkpoint_every {
                             guard.flush();
                         }
@@ -257,11 +340,20 @@ where
                             }
                         }
                     } else {
+                        chunk_retired = false;
                         // Partial progress only happens on cancellation;
                         // make sure it reaches disk.
                         guard.flush();
                     }
-                    if guard.io_error.is_some() {
+                    if let Some(e) = guard.io_error.take() {
+                        fail(&mut guard, e);
+                        return;
+                    }
+                }
+                if chunk_retired {
+                    let mut guard = shared.lock().expect("progress lock poisoned");
+                    if let Err(e) = source.chunk_done(&chunk, guard.checkpoint) {
+                        fail(&mut guard, e);
                         return;
                     }
                 }
@@ -270,15 +362,18 @@ where
     });
 
     let mut shared = shared.into_inner().expect("progress lock poisoned");
-    // Final flush: persist the terminal state (complete or cancelled).
+    // Final flush: persist the terminal state (complete, cancelled or
+    // drained).
     shared.flush();
     if let Some(e) = shared.io_error {
         return Err(e);
     }
     Ok(if shared.checkpoint.is_complete() {
         RunOutcome::Complete
-    } else {
+    } else if cancel.is_cancelled() {
         RunOutcome::Cancelled
+    } else {
+        RunOutcome::Drained
     })
 }
 

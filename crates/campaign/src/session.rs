@@ -22,14 +22,17 @@
 
 use crate::adaptive::AdaptivePolicy;
 use crate::checkpoint::{CampaignCheckpoint, CheckpointParams};
-use crate::runner::{run_resumable, CancelToken, RunOutcome, RunnerOptions};
+use crate::runner::{run_resumable, run_with_source, CancelToken, RunOutcome, RunnerOptions};
 use crate::spec::CircuitSpec;
 use crate::store::{ArtifactKind, ArtifactStore, StoreKey};
+use crate::work::{self, LeaseQueue};
 use ffr_fault::{Campaign, FaultKind, FdrTable, SetDeratingTable};
 use ffr_sim::GoldenRun;
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 /// Manifest format version (3: budgeted sessions — v2 manifests lack the
 /// `budget` field).
@@ -175,6 +178,16 @@ impl SessionPaths {
             FaultKind::Seu => self.fdr_csv(),
             FaultKind::Set => self.set_csv(),
         }
+    }
+
+    /// The lease directory of distributed (`ffr worker`) draining.
+    pub fn leases_dir(&self) -> PathBuf {
+        self.out_dir.join("leases")
+    }
+
+    /// The shard-checkpoint directory of distributed draining.
+    pub fn shards_dir(&self) -> PathBuf {
+        self.out_dir.join("shards")
     }
 }
 
@@ -407,19 +420,8 @@ pub fn campaign_table_key(
     StoreKey::of(prepared.cc.netlist(), &campaign_desc)
 }
 
-/// Start (or restart) a campaign session in `out_dir`.
-///
-/// # Errors
-///
-/// Fails on I/O errors, or if `out_dir` already holds a checkpoint for a
-/// different campaign (use [`resume`] to continue one).
-pub fn run(
-    request: &RunRequest,
-    out_dir: &Path,
-    options: &RunnerOptions,
-    cancel: &CancelToken,
-    progress: impl Fn(usize, usize) + Sync,
-) -> io::Result<RunSummary> {
+/// Reject requests that cannot form a valid campaign.
+fn validate_request(request: &RunRequest) -> io::Result<()> {
     if request.cycles < MIN_CYCLES {
         return Err(io::Error::other(format!(
             "--cycles {} is too short for an injection window (minimum {MIN_CYCLES})",
@@ -432,16 +434,13 @@ pub fn run(
             request.budget
         )));
     }
-    std::fs::create_dir_all(out_dir)?;
-    let paths = SessionPaths::new(out_dir);
-    let prepared = request.circuit.prepare(request.stim_seed, request.cycles);
-    let window = prepared.window.clone();
+    Ok(())
+}
 
-    // The campaign fingerprint covers the netlist, the stimulus, the
-    // fault model and every campaign parameter.
-    let table_key = campaign_table_key(request, &prepared);
-
-    let manifest = CampaignManifest {
+/// The manifest a request produces (pure; shared by `run` and `worker`
+/// bootstrap so concurrent initializers write identical bytes).
+fn manifest_for(request: &RunRequest, table_key: &StoreKey) -> CampaignManifest {
+    CampaignManifest {
         version: MANIFEST_VERSION,
         circuit: request.circuit.spec_string(),
         fault: request.fault,
@@ -456,7 +455,31 @@ pub fn run(
             .as_ref()
             .map(|p| p.to_string_lossy().into_owned()),
         fingerprint: table_key.to_string(),
-    };
+    }
+}
+
+/// Start (or restart) a campaign session in `out_dir`.
+///
+/// # Errors
+///
+/// Fails on I/O errors, or if `out_dir` already holds a checkpoint for a
+/// different campaign (use [`resume`] to continue one).
+pub fn run(
+    request: &RunRequest,
+    out_dir: &Path,
+    options: &RunnerOptions,
+    cancel: &CancelToken,
+    progress: impl Fn(usize, usize) + Sync,
+) -> io::Result<RunSummary> {
+    validate_request(request)?;
+    std::fs::create_dir_all(out_dir)?;
+    let paths = SessionPaths::new(out_dir);
+    let prepared = request.circuit.prepare(request.stim_seed, request.cycles);
+
+    // The campaign fingerprint covers the netlist, the stimulus, the
+    // fault model and every campaign parameter.
+    let table_key = campaign_table_key(request, &prepared);
+    let manifest = manifest_for(request, &table_key);
 
     // Refuse to clobber a different campaign's session directory. The
     // checkpoint is validated BEFORE the manifest is (re)written, so a
@@ -520,19 +543,7 @@ pub fn run(
             }
         }
     }
-    let checkpoint = checkpoint.unwrap_or_else(|| {
-        CampaignCheckpoint::fresh(
-            manifest.fingerprint.clone(),
-            CheckpointParams {
-                fault: request.fault,
-                seed: request.seed,
-                window_start: window.start,
-                window_end: window.end,
-                policy: request.policy.clone(),
-            },
-            budgeted_point_ids(request.fault, &prepared.cc, request.budget, request.seed),
-        )
-    });
+    let checkpoint = checkpoint.unwrap_or_else(|| fresh_checkpoint(&manifest, &prepared));
 
     drive(
         prepared, manifest, checkpoint, paths, store, options, cancel, progress,
@@ -542,9 +553,14 @@ pub fn run(
 /// Resume the campaign session in `out_dir` from its manifest and
 /// checkpoint.
 ///
+/// Shard checkpoints left behind by `ffr worker` processes are discovered
+/// and merged first, so a partially worker-drained campaign can be
+/// finished single-process (the result is byte-identical either way).
+///
 /// # Errors
 ///
-/// Fails on I/O errors or if the directory holds no session.
+/// Fails on I/O errors or if the directory holds no session (a manifest
+/// with neither a checkpoint nor any shards).
 pub fn resume(
     out_dir: &Path,
     options: &RunnerOptions,
@@ -560,7 +576,18 @@ pub fn resume(
     })?;
     let circuit: CircuitSpec = manifest.circuit.parse().map_err(io::Error::other)?;
     let prepared = circuit.prepare(manifest.stim_seed, manifest.cycles);
-    let checkpoint = CampaignCheckpoint::load(&paths.checkpoint())?;
+    let mut checkpoint = match CampaignCheckpoint::load(&paths.checkpoint()) {
+        Ok(cp) => cp,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            // Worker-drained sessions keep their progress in shards until
+            // completion; resume can pick that up from a fresh base.
+            if work::list_shards(&paths.shards_dir())?.is_empty() {
+                return Err(e);
+            }
+            fresh_checkpoint(&manifest, &prepared)
+        }
+        Err(e) => return Err(e),
+    };
     if checkpoint.fingerprint != manifest.fingerprint {
         return Err(io::Error::other(
             "checkpoint does not match the session manifest",
@@ -571,6 +598,7 @@ pub fn resume(
             "checkpoint fault model does not match the session manifest",
         ));
     }
+    merge_shards(&paths, &mut checkpoint)?;
     let store = open_store(&manifest.store)?;
     drive(
         prepared, manifest, checkpoint, paths, store, options, cancel, progress,
@@ -613,24 +641,13 @@ fn drive(
 
     let mut table_path = None;
     if outcome == RunOutcome::Complete {
-        let key: StoreKey = parse_key(&manifest.fingerprint)?;
-        match manifest.fault {
-            FaultKind::Seu => publish_table(
-                &checkpoint.to_fdr_table_for(prepared.cc.num_ffs()),
-                &paths,
-                manifest.fault,
-                &store,
-                &key,
-            )?,
-            FaultKind::Set => publish_table(
-                &checkpoint.to_set_table(),
-                &paths,
-                manifest.fault,
-                &store,
-                &key,
-            )?,
-        }
-        table_path = Some(paths.table_json(manifest.fault));
+        table_path = Some(publish_completed(
+            &checkpoint,
+            prepared.cc.num_ffs(),
+            &manifest,
+            &paths,
+            &store,
+        )?);
     }
 
     Ok(RunSummary {
@@ -641,6 +658,344 @@ fn drive(
         completed_points: checkpoint.completed_points(),
         total_points: checkpoint.num_points,
         total_injections: checkpoint.total_injections(),
+        table_path,
+    })
+}
+
+/// Write the final table files (JSON + CSV + store artifact) of a
+/// completed campaign and return the JSON path.
+fn publish_completed(
+    checkpoint: &CampaignCheckpoint,
+    num_ffs: usize,
+    manifest: &CampaignManifest,
+    paths: &SessionPaths,
+    store: &Option<ArtifactStore>,
+) -> io::Result<PathBuf> {
+    let key: StoreKey = parse_key(&manifest.fingerprint)?;
+    match manifest.fault {
+        FaultKind::Seu => publish_table(
+            &checkpoint.to_fdr_table_for(num_ffs),
+            paths,
+            manifest.fault,
+            store,
+            &key,
+        )?,
+        FaultKind::Set => publish_table(
+            &checkpoint.to_set_table(),
+            paths,
+            manifest.fault,
+            store,
+            &key,
+        )?,
+    }
+    Ok(paths.table_json(manifest.fault))
+}
+
+/// The deterministic fresh checkpoint of a manifest's campaign: every
+/// worker (and `resume` over a shard-only session) derives the same base,
+/// so no coordination is needed to create it.
+fn fresh_checkpoint(
+    manifest: &CampaignManifest,
+    prepared: &crate::spec::PreparedCircuit,
+) -> CampaignCheckpoint {
+    CampaignCheckpoint::fresh(
+        manifest.fingerprint.clone(),
+        CheckpointParams {
+            fault: manifest.fault,
+            seed: manifest.seed,
+            window_start: prepared.window.start,
+            window_end: prepared.window.end,
+            policy: manifest.policy.clone(),
+        },
+        budgeted_point_ids(manifest.fault, &prepared.cc, manifest.budget, manifest.seed),
+    )
+}
+
+/// Discover the session's shard checkpoints and merge them into
+/// `checkpoint` (point-indexed, order-independent — see
+/// [`CampaignCheckpoint::merge_shard`]). Returns how many shards were
+/// merged.
+///
+/// # Errors
+///
+/// Fails on I/O errors or if a shard belongs to a different campaign.
+pub fn merge_shards(
+    paths: &SessionPaths,
+    checkpoint: &mut CampaignCheckpoint,
+) -> io::Result<usize> {
+    let shards = work::list_shards(&paths.shards_dir())?;
+    let count = shards.len();
+    for shard in shards {
+        checkpoint.merge_shard(&shard)?;
+    }
+    Ok(count)
+}
+
+/// How long a worker without bootstrap flags waits for a sibling
+/// bootstrapper to publish the campaign manifest before giving up.
+const BOOTSTRAP_WAIT: Duration = Duration::from_secs(15);
+
+/// Parameters of one `ffr worker` invocation.
+#[derive(Debug, Clone)]
+pub struct WorkerRequest {
+    /// Stable identity of this worker (lease ownership, shard
+    /// provenance). Reusing an id after a crash lets the new incarnation
+    /// reclaim its own stale leases immediately.
+    pub worker_id: String,
+    /// Points per lease range (small = better balance, large = less
+    /// lease I/O).
+    pub lease_points: usize,
+    /// Lease time-to-live; must comfortably exceed the heartbeat
+    /// interval (`ttl / 3`).
+    pub lease_ttl: Duration,
+    /// Rescan interval while other workers hold the remaining leases.
+    pub poll: Duration,
+    /// Artifact store override for this worker (golden-run caching);
+    /// `None` uses the store recorded in the campaign manifest.
+    pub store: Option<PathBuf>,
+    /// Campaign parameters for bootstrapping an uninitialized campaign
+    /// directory; verified against the manifest when one exists.
+    pub init: Option<RunRequest>,
+}
+
+impl WorkerRequest {
+    /// Defaults: 16-point leases, 30 s TTL, 200 ms poll.
+    pub fn new(worker_id: impl Into<String>) -> WorkerRequest {
+        WorkerRequest {
+            worker_id: worker_id.into(),
+            lease_points: 16,
+            lease_ttl: Duration::from_secs(30),
+            poll: Duration::from_millis(200),
+            store: None,
+            init: None,
+        }
+    }
+}
+
+/// Outcome summary of one `ffr worker` invocation.
+#[derive(Debug)]
+pub struct WorkerSummary {
+    /// Fault model of the session.
+    pub fault: FaultKind,
+    /// How this worker's runner ended ([`RunOutcome::Drained`] means
+    /// other workers computed part of the campaign).
+    pub outcome: RunOutcome,
+    /// `true` once the whole campaign (all shards merged) is complete —
+    /// in that case this worker also published the final table.
+    pub campaign_complete: bool,
+    /// Shards merged into the final view (all workers').
+    pub merged_shards: usize,
+    /// Retired points in the merged view.
+    pub completed_points: usize,
+    /// Total injection points of the campaign.
+    pub total_points: usize,
+    /// Injections executed across all workers (merged view).
+    pub total_injections: usize,
+    /// `true` if the golden run came from the artifact store.
+    pub golden_from_cache: bool,
+    /// Path of the final result table, once the campaign is complete.
+    pub table_path: Option<PathBuf>,
+}
+
+/// Drain a campaign as one worker of a distributed fleet.
+///
+/// The worker leases point ranges from the session directory's
+/// [`LeaseQueue`], computes them, flushes per-range shard checkpoints,
+/// and heartbeats its leases from a background thread. It keeps claiming
+/// until every range has a complete shard (waiting out other workers'
+/// live leases, reclaiming expired ones) or until cancelled. The **last**
+/// worker standing observes global completion, merges all shards and
+/// publishes the final table — byte-identical to a single-process
+/// `ffr run`, no matter how the work was distributed. If several workers
+/// observe completion simultaneously they all publish identical bytes
+/// through atomic renames, so the race is benign.
+///
+/// # Errors
+///
+/// Fails on I/O errors, an uninitialized campaign directory without
+/// `init` parameters, or parameters conflicting with the existing
+/// manifest.
+pub fn worker(
+    out_dir: &Path,
+    request: &WorkerRequest,
+    options: &RunnerOptions,
+    cancel: &CancelToken,
+    progress: impl Fn(usize, usize) + Sync,
+) -> io::Result<WorkerSummary> {
+    let paths = SessionPaths::new(out_dir);
+    let conflict = |existing: &str, ours: &str| {
+        io::Error::other(format!(
+            "{} already holds a campaign with different parameters \
+             (fingerprint {existing} vs {ours}); use a fresh --campaign directory",
+            out_dir.display()
+        ))
+    };
+    // The manifest is the shared campaign definition: an existing one
+    // wins; otherwise the worker's own campaign flags bootstrap it.
+    let manifest = match CampaignManifest::load(&paths.manifest()) {
+        Ok(existing) => {
+            if let Some(init) = &request.init {
+                validate_request(init)?;
+                let prepared = init.circuit.prepare(init.stim_seed, init.cycles);
+                let key = campaign_table_key(init, &prepared).to_string();
+                if existing.fingerprint != key {
+                    return Err(conflict(&existing.fingerprint, &key));
+                }
+            }
+            existing
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => match &request.init {
+            Some(init) => {
+                validate_request(init)?;
+                std::fs::create_dir_all(out_dir)?;
+                let prepared = init.circuit.prepare(init.stim_seed, init.cycles);
+                let manifest = manifest_for(init, &campaign_table_key(init, &prepared));
+                let json = serde_json::to_string_pretty(&manifest).map_err(io::Error::other)?;
+                // Exactly one bootstrapper wins (create-exclusive);
+                // losers adopt the winner's manifest — and are refused
+                // here if their flags describe a different campaign,
+                // instead of silently mixing two campaigns' shards in
+                // one directory.
+                if crate::store::create_exclusive(&paths.manifest(), &json)? {
+                    manifest
+                } else {
+                    let existing = CampaignManifest::load(&paths.manifest())?;
+                    if existing.fingerprint != manifest.fingerprint {
+                        return Err(conflict(&existing.fingerprint, &manifest.fingerprint));
+                    }
+                    existing
+                }
+            }
+            None => {
+                // A sibling worker launched with bootstrap flags may
+                // still be preparing its circuit (seconds at paper
+                // scale) before the manifest lands; wait briefly rather
+                // than abandoning the fleet. A bootstrapper creates the
+                // campaign directory before that slow preparation, so a
+                // missing directory means nobody is coming — fail fast.
+                let deadline = std::time::Instant::now() + BOOTSTRAP_WAIT;
+                loop {
+                    if cancel.is_cancelled()
+                        || !out_dir.exists()
+                        || std::time::Instant::now() >= deadline
+                    {
+                        return Err(io::Error::other(format!(
+                            "no campaign session in {} — initialize one with `ffr run`, \
+                             or pass --circuit (plus campaign flags) to the first worker",
+                            out_dir.display()
+                        )));
+                    }
+                    std::thread::sleep(request.poll.max(Duration::from_millis(50)));
+                    match CampaignManifest::load(&paths.manifest()) {
+                        Ok(manifest) => break manifest,
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        },
+        Err(e) => return Err(e),
+    };
+
+    let circuit: CircuitSpec = manifest.circuit.parse().map_err(io::Error::other)?;
+    let prepared = circuit.prepare(manifest.stim_seed, manifest.cycles);
+    // Base progress: the session's single-process checkpoint when one
+    // exists (e.g. an interrupted `ffr run` being finished by workers),
+    // else the deterministic fresh base. Other workers' progress arrives
+    // later via shard hydration and the final merge.
+    let mut checkpoint = match CampaignCheckpoint::load(&paths.checkpoint()) {
+        Ok(cp) if cp.fingerprint == manifest.fingerprint => cp,
+        Ok(_) => {
+            return Err(io::Error::other(
+                "checkpoint does not match the session manifest",
+            ))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => fresh_checkpoint(&manifest, &prepared),
+        Err(e) => return Err(e),
+    };
+    let store = match &request.store {
+        Some(path) => Some(ArtifactStore::open(path)?),
+        None => open_store(&manifest.store)?,
+    };
+    let (golden, golden_from_cache) = golden_for(&prepared, store.as_ref())?;
+    let judge = prepared.judge_spec.build(&golden);
+    let campaign = Campaign::with_golden(
+        &prepared.cc,
+        &prepared.stimulus,
+        &prepared.watch,
+        &judge,
+        golden,
+    );
+
+    let queue = LeaseQueue::open(
+        out_dir,
+        manifest.fingerprint.clone(),
+        request.worker_id.clone(),
+        checkpoint.points.len(),
+        request.lease_points,
+        request.lease_ttl,
+        request.poll,
+        cancel.clone(),
+    )?;
+
+    let mut runner_options = options.clone();
+    runner_options.checkpoint_every = manifest.checkpoint_every;
+    let stop_heartbeat = AtomicBool::new(false);
+    let run_result = std::thread::scope(|scope| {
+        let heartbeat = scope.spawn(|| {
+            let interval = (request.lease_ttl / 3).max(Duration::from_millis(50));
+            let mut last = std::time::Instant::now();
+            while !stop_heartbeat.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(25));
+                if last.elapsed() >= interval {
+                    // A missed heartbeat is survivable: the lease expires
+                    // and the range is recomputed identically elsewhere.
+                    let _ = queue.refresh_held();
+                    last = std::time::Instant::now();
+                }
+            }
+        });
+        let result = run_with_source(
+            &campaign,
+            &mut checkpoint,
+            &queue,
+            &runner_options,
+            cancel,
+            |cp| queue.flush_held(cp),
+            progress,
+        );
+        stop_heartbeat.store(true, Ordering::Relaxed);
+        heartbeat.join().expect("heartbeat thread");
+        result
+    });
+    // Release still-held leases — on cancellation *and* on error — so
+    // another worker can take over immediately instead of waiting out the
+    // TTL; the partial shards are already flushed.
+    queue.release_held();
+    let outcome = run_result?;
+
+    let merged_shards = merge_shards(&paths, &mut checkpoint)?;
+    let campaign_complete = checkpoint.is_complete();
+    let mut table_path = None;
+    if campaign_complete {
+        checkpoint.save(&paths.checkpoint())?;
+        table_path = Some(publish_completed(
+            &checkpoint,
+            prepared.cc.num_ffs(),
+            &manifest,
+            &paths,
+            &store,
+        )?);
+    }
+    Ok(WorkerSummary {
+        fault: manifest.fault,
+        outcome,
+        campaign_complete,
+        merged_shards,
+        completed_points: checkpoint.completed_points(),
+        total_points: checkpoint.num_points,
+        total_injections: checkpoint.total_injections(),
+        golden_from_cache,
         table_path,
     })
 }
@@ -1007,6 +1362,256 @@ mod tests {
             std::fs::read(out.join("fdr.json")).unwrap(),
             std::fs::read(out2.join("fdr.json")).unwrap()
         );
+    }
+
+    #[test]
+    fn worker_drains_campaign_byte_identical_to_run() {
+        // Single-process reference.
+        let request = quick_request(None);
+        let out_ref = tmp_dir("worker_ref");
+        run(
+            &request,
+            &out_ref,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        let reference = std::fs::read(out_ref.join("fdr.json")).unwrap();
+
+        // One worker bootstraps an empty campaign dir and drains it all.
+        let out = tmp_dir("worker");
+        let mut wreq = WorkerRequest::new("w1");
+        wreq.lease_points = 2;
+        wreq.init = Some(request.clone());
+        let summary = worker(
+            &out,
+            &wreq,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Complete);
+        assert!(summary.campaign_complete);
+        assert!(summary.merged_shards > 0);
+        assert_eq!(
+            std::fs::read(out.join("fdr.json")).unwrap(),
+            reference,
+            "worker-drained table must be byte-identical to ffr run"
+        );
+        // Completed ranges leave shards but no leases behind.
+        assert!(
+            crate::work::list_leases(&SessionPaths::new(&out).leases_dir())
+                .unwrap()
+                .is_empty()
+        );
+
+        // A later worker (no init flags) finds a finished campaign.
+        let summary2 = worker(
+            &out,
+            &WorkerRequest::new("w2"),
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert!(summary2.campaign_complete);
+
+        // A store override without bootstrap flags (the README's worker
+        // invocation) caches the golden run across worker invocations.
+        let store_dir = tmp_dir("worker_store");
+        let mut wreq_store = WorkerRequest::new("w5");
+        wreq_store.store = Some(store_dir);
+        let first = worker(
+            &out,
+            &wreq_store,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert!(!first.golden_from_cache);
+        let second = worker(
+            &out,
+            &wreq_store,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert!(second.golden_from_cache);
+
+        // Conflicting init parameters are refused.
+        let mut other = request.clone();
+        other.seed = 4242;
+        let mut wreq_bad = WorkerRequest::new("w3");
+        wreq_bad.init = Some(other);
+        let err = worker(
+            &out,
+            &wreq_bad,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("different parameters"), "{err}");
+
+        // An uninitialized dir without init flags fails with guidance.
+        let empty = tmp_dir("worker_empty");
+        let err = worker(
+            &empty,
+            &WorkerRequest::new("w4"),
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no campaign session"), "{err}");
+    }
+
+    #[test]
+    fn worker_drains_set_campaign_byte_identical_to_run() {
+        let mut request = quick_request(None);
+        request.fault = FaultKind::Set;
+        let out_ref = tmp_dir("worker_set_ref");
+        run(
+            &request,
+            &out_ref,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        let reference = std::fs::read(out_ref.join("set-derating.json")).unwrap();
+
+        let out = tmp_dir("worker_set");
+        let mut wreq = WorkerRequest::new("w1");
+        wreq.lease_points = 4;
+        wreq.init = Some(request);
+        let summary = worker(
+            &out,
+            &wreq,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.fault, FaultKind::Set);
+        assert!(summary.campaign_complete);
+        assert_eq!(
+            std::fs::read(out.join("set-derating.json")).unwrap(),
+            reference,
+            "worker-drained SET table must be byte-identical to ffr run"
+        );
+    }
+
+    #[test]
+    fn concurrent_workers_share_one_campaign() {
+        let mut request = quick_request(None);
+        request.circuit = CircuitSpec::Lfsr { width: 8, depth: 2 };
+        let out_ref = tmp_dir("conc_ref");
+        run(
+            &request,
+            &out_ref,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        let reference = std::fs::read(out_ref.join("fdr.json")).unwrap();
+
+        // Two workers race the same campaign directory from scratch
+        // (manifest bootstrap race included).
+        let out = tmp_dir("conc");
+        std::thread::scope(|scope| {
+            for id in ["a", "b"] {
+                let out = &out;
+                let request = &request;
+                scope.spawn(move || {
+                    let mut wreq = WorkerRequest::new(id);
+                    wreq.lease_points = 3;
+                    wreq.init = Some(request.clone());
+                    worker(
+                        out,
+                        &wreq,
+                        &RunnerOptions {
+                            threads: Some(1),
+                            ..RunnerOptions::default()
+                        },
+                        &CancelToken::new(),
+                        |_, _| {},
+                    )
+                    .unwrap();
+                });
+            }
+        });
+        assert_eq!(
+            std::fs::read(out.join("fdr.json")).unwrap(),
+            reference,
+            "concurrently drained campaign must be byte-identical"
+        );
+        // Both workers' shard provenance is visible.
+        let shards = crate::work::list_shards(&SessionPaths::new(&out).shards_dir()).unwrap();
+        assert!(shards.iter().all(|s| s.is_complete()));
+    }
+
+    #[test]
+    fn worker_finishes_an_interrupted_run_and_resume_merges_shards() {
+        // An `ffr run` interrupted after 2 points…
+        let request = quick_request(None);
+        let out = tmp_dir("worker_takeover");
+        let summary = run(
+            &request,
+            &out,
+            &RunnerOptions {
+                stop_after_points: Some(2),
+                ..RunnerOptions::default()
+            },
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Cancelled);
+
+        // …is finished by a worker (base checkpoint + shards)…
+        let mut wreq = WorkerRequest::new("w1");
+        wreq.lease_points = 2;
+        let summary = worker(
+            &out,
+            &wreq,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert!(summary.campaign_complete);
+
+        // …matching the uninterrupted reference.
+        let out_ref = tmp_dir("worker_takeover_ref");
+        run(
+            &request,
+            &out_ref,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(out.join("fdr.json")).unwrap(),
+            std::fs::read(out_ref.join("fdr.json")).unwrap()
+        );
+
+        // `ffr resume` on a worker session with leftover shards also
+        // reports completion (shard merge path).
+        let summary = resume(
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Complete);
     }
 
     #[test]

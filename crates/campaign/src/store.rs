@@ -28,10 +28,20 @@ use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::SystemTime;
 
-/// Envelope format version; bump on breaking layout changes.
+/// Version-1 envelope: plain JSON payload.
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Version-2 envelope: deflate-compressed, base64-embedded payload (see
+/// [`crate::codec`]). Written for bulky artifact kinds
+/// ([`ArtifactKind::compressed`]); readers accept v1 and v2 for every
+/// kind, so stores written by older code keep working unchanged.
+pub const FORMAT_VERSION_COMPRESSED: u32 = 2;
+
+/// Encoding tag stored in v2 envelopes.
+const COMPRESSED_ENCODING: &str = "deflate+base64";
 
 /// Grace period before garbage collection touches a `.tmp` file: a live
 /// writer's temp file is younger than this, a crashed writer's leftover
@@ -49,11 +59,55 @@ const TMP_GRACE: std::time::Duration = std::time::Duration::from_secs(3600);
 ///
 /// Propagates I/O failures.
 pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
+    let tmp = unique_tmp_path(path);
     std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+    let renamed = std::fs::rename(&tmp, path);
+    if renamed.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    renamed
+}
+
+/// Monotonic per-process counter for temp-file names.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A temp-file path unique across concurrent writers: two processes (or
+/// threads) atomically writing the *same* destination get distinct temp
+/// files — pid disambiguates processes, the counter disambiguates threads
+/// — so neither can truncate or rename the other's half-written temp.
+fn unique_tmp_path(path: &Path) -> PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    PathBuf::from(tmp)
+}
+
+/// Create `path` with `contents` **only if it does not already exist**;
+/// returns whether this caller won the creation race.
+///
+/// The contents are staged in a unique temp file first and published with
+/// a hard link, which atomically fails if `path` already exists — so a
+/// winner's file is always complete (no reader can observe a torn claim)
+/// and there is never more than one winner. Used for lease claims, where
+/// rename's replace-on-collision semantics would silently hand the same
+/// lease to two workers.
+///
+/// # Errors
+///
+/// Propagates I/O failures other than "already exists".
+pub fn create_exclusive(path: &Path, contents: &str) -> io::Result<bool> {
+    let tmp = unique_tmp_path(path);
+    std::fs::write(&tmp, contents)?;
+    let linked = std::fs::hard_link(&tmp, path);
+    let _ = std::fs::remove_file(&tmp);
+    match linked {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(false),
+        Err(e) => Err(e),
+    }
 }
 
 /// Probe the `version` field of a JSON document without deserializing
@@ -147,6 +201,16 @@ impl ArtifactKind {
         ArtifactKind::Report,
     ];
 
+    /// `true` for kinds written with the deflate-compressed v2 envelope.
+    ///
+    /// Golden runs dominate store size (the paper-scale MAC's output
+    /// trace + state journal serializes to multi-MB JSON) and compress
+    /// severalfold; the small metadata-heavy kinds stay as plain v1 JSON,
+    /// which is grep-able and diff-able.
+    pub fn compressed(self) -> bool {
+        matches!(self, ArtifactKind::GoldenRun)
+    }
+
     /// Directory name of the kind.
     pub fn dir_name(self) -> &'static str {
         match self {
@@ -235,12 +299,29 @@ impl ArtifactStore {
         key: &StoreKey,
         payload: &T,
     ) -> io::Result<PathBuf> {
-        let envelope = Value::Object(vec![
-            ("format_version".into(), Value::U64(FORMAT_VERSION as u64)),
-            ("kind".into(), Value::Str(kind.dir_name().into())),
-            ("key".into(), Value::Str(key.to_string())),
-            ("payload".into(), payload.to_value()),
-        ]);
+        let envelope = if kind.compressed() {
+            let payload_json =
+                serde_json::to_string(&ValueWrap(&payload.to_value())).expect("payload serializes");
+            let packed =
+                crate::codec::base64_encode(&crate::codec::deflate(payload_json.as_bytes()));
+            Value::Object(vec![
+                (
+                    "format_version".into(),
+                    Value::U64(FORMAT_VERSION_COMPRESSED as u64),
+                ),
+                ("kind".into(), Value::Str(kind.dir_name().into())),
+                ("key".into(), Value::Str(key.to_string())),
+                ("encoding".into(), Value::Str(COMPRESSED_ENCODING.into())),
+                ("payload".into(), Value::Str(packed)),
+            ])
+        } else {
+            Value::Object(vec![
+                ("format_version".into(), Value::U64(FORMAT_VERSION as u64)),
+                ("kind".into(), Value::Str(kind.dir_name().into())),
+                ("key".into(), Value::Str(key.to_string())),
+                ("payload".into(), payload.to_value()),
+            ])
+        };
         let text = serde_json::to_string(&ValueWrap(&envelope)).expect("envelope serializes");
         let path = self.path_of(kind, key);
         std::fs::create_dir_all(path.parent().expect("artifact path has a parent"))?;
@@ -268,19 +349,45 @@ impl ArtifactStore {
             Value::U64(n) => Some(*n),
             _ => None,
         });
-        if version != Some(FORMAT_VERSION as u64) {
-            return Ok(None);
-        }
         if envelope.get("kind").and_then(Value::as_str) != Some(kind.dir_name()) {
             return Ok(None);
         }
         if envelope.get("key").and_then(Value::as_str) != Some(key.to_string().as_str()) {
             return Ok(None);
         }
-        let Some(payload) = envelope.get("payload") else {
-            return Ok(None);
-        };
-        Ok(T::from_value(payload).ok())
+        // Readers accept both envelope layouts regardless of what the
+        // current writer would produce for this kind, so v1 stores read
+        // back transparently after an upgrade (and vice versa).
+        match version {
+            Some(v) if v == FORMAT_VERSION as u64 => {
+                let Some(payload) = envelope.get("payload") else {
+                    return Ok(None);
+                };
+                Ok(T::from_value(payload).ok())
+            }
+            Some(v) if v == FORMAT_VERSION_COMPRESSED as u64 => {
+                if envelope.get("encoding").and_then(Value::as_str) != Some(COMPRESSED_ENCODING) {
+                    return Ok(None);
+                }
+                let Some(packed) = envelope.get("payload").and_then(Value::as_str) else {
+                    return Ok(None);
+                };
+                let Ok(compressed) = crate::codec::base64_decode(packed) else {
+                    return Ok(None);
+                };
+                let Ok(bytes) = crate::codec::inflate(&compressed) else {
+                    return Ok(None);
+                };
+                let Ok(payload_json) = String::from_utf8(bytes) else {
+                    return Ok(None);
+                };
+                let Ok(payload) = serde_json::parse_value_complete(&payload_json) else {
+                    return Ok(None);
+                };
+                Ok(T::from_value(&payload).ok())
+            }
+            _ => Ok(None),
+        }
     }
 
     /// Enumerate every artifact in the store.
@@ -349,9 +456,11 @@ impl ArtifactStore {
                         .and_then(|m| now.duration_since(m).ok())
                         .is_some_and(|elapsed| elapsed > age)
                 };
-                // A .tmp file younger than the grace period may belong to a
-                // concurrent writer mid-`atomic_write`; leave it alone.
-                let is_tmp = name.ends_with(".tmp");
+                // A temp file younger than the grace period may belong to
+                // a concurrent writer mid-`atomic_write`; leave it alone.
+                // Matches both the legacy `foo.json.tmp` suffix and the
+                // current unique `foo.json.tmp.<pid>.<seq>` names.
+                let is_tmp = name.contains(".tmp");
                 if is_tmp && !older_than(TMP_GRACE) {
                     report.kept += 1;
                     continue;
@@ -466,6 +575,129 @@ mod tests {
         let report = store.gc(None).unwrap();
         assert_eq!(report.removed, 2);
         assert!(store.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn golden_run_kind_round_trips_through_the_compressed_envelope() {
+        let store = tmp_store("compressed");
+        // A payload shaped like real golden-run JSON: long, repetitive.
+        let data: Vec<u64> = (0..4096).map(|i| i % 17).collect();
+        let path = store.put(ArtifactKind::GoldenRun, &key(), &data).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"format_version\":2"),
+            "golden runs are written as v2 envelopes: {}",
+            &text[..text.len().min(120)]
+        );
+        assert!(text.contains("\"encoding\":\"deflate+base64\""));
+        let loaded: Option<Vec<u64>> = store.get(ArtifactKind::GoldenRun, &key()).unwrap();
+        assert_eq!(loaded, Some(data.clone()));
+
+        // The compressed envelope beats the equivalent v1 JSON envelope.
+        let plain = serde_json::to_string(&data).unwrap();
+        assert!(
+            std::fs::metadata(&path).unwrap().len() < plain.len() as u64,
+            "compressed envelope ({}) must undercut plain payload JSON ({})",
+            std::fs::metadata(&path).unwrap().len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    fn v1_golden_run_envelopes_read_back_transparently() {
+        // A store written before the compressed envelope existed must
+        // keep serving cache hits.
+        let store = tmp_store("v1_golden");
+        let path = store.put(ArtifactKind::GoldenRun, &key(), &7u64).unwrap();
+        std::fs::write(
+            &path,
+            format!(
+                r#"{{"format_version":1,"kind":"golden-run","key":"{}","payload":[1,2,3]}}"#,
+                key()
+            ),
+        )
+        .unwrap();
+        let loaded: Option<Vec<u64>> = store.get(ArtifactKind::GoldenRun, &key()).unwrap();
+        assert_eq!(loaded, Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn corrupt_compressed_payload_degrades_to_miss() {
+        let store = tmp_store("corrupt_compressed");
+        let path = store
+            .put(ArtifactKind::GoldenRun, &key(), &vec![1u64; 64])
+            .unwrap();
+        std::fs::write(
+            &path,
+            format!(
+                r#"{{"format_version":2,"kind":"golden-run","key":"{}","encoding":"deflate+base64","payload":"!!!not-base64!!!"}}"#,
+                key()
+            ),
+        )
+        .unwrap();
+        let loaded: Option<Vec<u64>> = store.get(ArtifactKind::GoldenRun, &key()).unwrap();
+        assert_eq!(loaded, None);
+    }
+
+    #[test]
+    fn create_exclusive_has_exactly_one_winner() {
+        let dir = std::env::temp_dir().join(format!("ffr_claim_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("claim.json");
+        assert!(create_exclusive(&path, "first").unwrap());
+        assert!(!create_exclusive(&path, "second").unwrap());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+
+        // Many concurrent claimers: exactly one wins, and the file always
+        // holds the complete contents of the winner.
+        let path2 = dir.join("contended.json");
+        let wins: usize = std::thread::scope(|scope| {
+            (0..16)
+                .map(|i| {
+                    let path2 = &path2;
+                    scope.spawn(move || create_exclusive(path2, &format!("w{i}")).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| usize::from(h.join().unwrap()))
+                .sum()
+        });
+        assert_eq!(wins, 1);
+        let contents = std::fs::read_to_string(&path2).unwrap();
+        assert!(contents.starts_with('w'), "complete winner contents");
+        // No temp-file litter from the losers.
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains(".tmp")
+            })
+            .count();
+        assert_eq!(leftovers, 0);
+    }
+
+    #[test]
+    fn gc_sweeps_unique_temp_names() {
+        let store = tmp_store("tmp_names");
+        store.put(ArtifactKind::Report, &key(), &1u64).unwrap();
+        // Simulate a crashed concurrent writer's leftover unique temp.
+        let stale = store
+            .root()
+            .join(ArtifactKind::Report.dir_name())
+            .join(format!("{}.json.tmp.4242.7", key()));
+        std::fs::write(&stale, "partial").unwrap();
+        // The unique name is recognised as a temp file: even an
+        // unconditional sweep keeps it inside the grace period (its
+        // writer may still be alive) instead of treating it as an
+        // expired artifact.
+        let report = store.gc(None).unwrap();
+        assert_eq!(report.removed, 1, "only the real artifact is swept");
+        assert_eq!(report.kept, 1);
+        assert!(stale.exists());
     }
 
     #[test]

@@ -1,0 +1,984 @@
+//! Work distribution: who computes which injection points.
+//!
+//! The runner ([`crate::runner`]) is generic over a [`WorkSource`] — the
+//! policy that hands out chunks of injection-point indices to worker
+//! threads. Two implementations cover the two deployment shapes:
+//!
+//! * [`CursorSource`] — the in-process work-stealing cursor: threads of
+//!   one process claim small chunks off a shared atomic counter. Zero
+//!   I/O, used by `ffr run` / `ffr resume`.
+//! * [`LeaseQueue`] — a store-backed queue for **distributed draining**:
+//!   several `ffr worker` processes (on one machine or many, over a
+//!   shared filesystem) lease fixed point-index ranges of one campaign by
+//!   creating lease files next to the campaign checkpoint, flush their
+//!   progress as per-range [`ShardCheckpoint`]s, heartbeat their leases,
+//!   and reclaim leases whose holders died.
+//!
+//! # Why duplicated work is harmless
+//!
+//! A lease whose holder crashes is reclaimed after its TTL; in rare
+//! interleavings (a stalled worker outliving its own lease, two workers
+//! racing an expired-lease reclaim) two workers can briefly compute the
+//! same range. This is *benign by construction*: a point's injection plan
+//! and stopping decisions are pure functions of `(seed, point, window,
+//! policy)`, so both workers produce identical records and the
+//! point-indexed shard merge ([`CampaignCheckpoint::merge_shard`]) is
+//! oblivious to who won. Distribution changes who computes a point, never
+//! what it computes — which is exactly why a multi-worker campaign's
+//! final table is byte-identical to a single-process run.
+//!
+//! # Lease lifecycle
+//!
+//! ```text
+//! unclaimed ──create_exclusive──▶ held(worker, expires)
+//!     ▲                              │ heartbeat: atomic rewrite, new expiry
+//!     │                              │ chunk done: shard flushed, lease removed
+//!     └──────── TTL elapses ◀────────┘ (crash: no heartbeat, lease expires)
+//! ```
+//!
+//! Lease claims go through [`create_exclusive`] (staged contents + hard
+//! link) so a claim is atomic and never observable half-written; releases
+//! and reclaims delete the file; heartbeats atomically replace it. Lease
+//! files are never mutated in place.
+
+use crate::checkpoint::{CampaignCheckpoint, ShardCheckpoint};
+use crate::runner::CancelToken;
+use crate::store::{atomic_write, create_exclusive};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Lease record file format version.
+pub const LEASE_VERSION: u32 = 1;
+
+/// How the runner obtains work: chunks of indices into the campaign
+/// checkpoint's point list.
+///
+/// Implementations must be safe to call from several runner threads at
+/// once; a chunk is handed to exactly one thread of this process.
+pub trait WorkSource: Sync {
+    /// Claim the next chunk of point indices. An empty chunk means the
+    /// source is drained for this invocation (all work complete, or
+    /// cancellation observed). A source may block/poll while work is
+    /// held elsewhere (the lease queue waits for other workers' leases
+    /// to complete or expire).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of store-backed sources.
+    fn claim(&self) -> io::Result<Vec<usize>>;
+
+    /// Overlay externally persisted progress for a freshly claimed chunk
+    /// onto the in-memory checkpoint (called under the progress lock,
+    /// before any point of the chunk is processed). The default does
+    /// nothing; the lease queue merges a previous holder's shard here so
+    /// a reclaimed lease *continues* instead of recomputing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn hydrate(&self, chunk: &[usize], checkpoint: &mut CampaignCheckpoint) -> io::Result<()> {
+        let _ = (chunk, checkpoint);
+        Ok(())
+    }
+
+    /// Notification that every point of a previously claimed chunk is
+    /// retired (called under the progress lock). The lease queue flushes
+    /// the final shard and releases the lease here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn chunk_done(&self, chunk: &[usize], checkpoint: &CampaignCheckpoint) -> io::Result<()> {
+        let _ = (chunk, checkpoint);
+        Ok(())
+    }
+
+    /// Upper bound on usefully concurrent claims (the runner clamps its
+    /// thread count to this).
+    fn parallelism_hint(&self) -> usize;
+}
+
+/// The in-process work source: pending point indices behind a shared
+/// atomic cursor, claimed in small chunks (work stealing). Per-point cost
+/// varies wildly under adaptive stopping, so small dynamic chunks beat a
+/// static split.
+#[derive(Debug)]
+pub struct CursorSource {
+    pending: Vec<usize>,
+    cursor: AtomicUsize,
+    chunk: usize,
+}
+
+impl CursorSource {
+    /// A source over every incomplete point of `checkpoint`, claimed
+    /// `steal_chunk` at a time.
+    pub fn new(checkpoint: &CampaignCheckpoint, steal_chunk: usize) -> CursorSource {
+        CursorSource {
+            pending: checkpoint
+                .points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.complete)
+                .map(|(i, _)| i)
+                .collect(),
+            cursor: AtomicUsize::new(0),
+            chunk: steal_chunk.max(1),
+        }
+    }
+}
+
+impl WorkSource for CursorSource {
+    fn claim(&self) -> io::Result<Vec<usize>> {
+        let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.pending.len() {
+            return Ok(Vec::new());
+        }
+        Ok(self.pending[start..(start + self.chunk).min(self.pending.len())].to_vec())
+    }
+
+    fn parallelism_hint(&self) -> usize {
+        self.pending.len().max(1)
+    }
+}
+
+/// One worker's claim on a contiguous range of injection points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeaseRecord {
+    /// Format version ([`LEASE_VERSION`]).
+    pub version: u32,
+    /// Campaign fingerprint the lease belongs to.
+    pub fingerprint: String,
+    /// Id of the holding worker.
+    pub worker: String,
+    /// First leased point index.
+    pub range_start: usize,
+    /// One past the last leased point index.
+    pub range_end: usize,
+    /// Unix time the lease was (re)acquired.
+    pub acquired_unix: u64,
+    /// Unix time the lease expires unless heartbeaten.
+    pub expires_unix: u64,
+}
+
+impl LeaseRecord {
+    /// The leased point-index range.
+    pub fn range(&self) -> Range<usize> {
+        self.range_start..self.range_end
+    }
+
+    /// `true` once the lease's expiry has passed.
+    pub fn is_expired(&self, now_unix: u64) -> bool {
+        now_unix > self.expires_unix
+    }
+}
+
+/// Seconds since the Unix epoch.
+pub(crate) fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// File name of the lease over point indices `range`.
+pub fn lease_file_name(range: &Range<usize>) -> String {
+    format!("lease-{:08}-{:08}.json", range.start, range.end)
+}
+
+/// File name of the shard over point indices `range`.
+pub fn shard_file_name(range: &Range<usize>) -> String {
+    format!("shard-{:08}-{:08}.json", range.start, range.end)
+}
+
+/// Split `num_points` point indices into lease ranges of `lease_points`.
+///
+/// Workers derive ranges independently from the same campaign, so the
+/// split must be a pure function of its inputs. Workers launched with
+/// *different* `lease_points` produce misaligned ranges — wasteful
+/// (overlapping ranges get computed twice) but still correct, because
+/// the shard merge is point-indexed and duplicates are identical.
+pub fn lease_ranges(num_points: usize, lease_points: usize) -> Vec<Range<usize>> {
+    let step = lease_points.max(1);
+    (0..num_points.div_ceil(step))
+        .map(|k| k * step..((k + 1) * step).min(num_points))
+        .collect()
+}
+
+/// A stored lease file as found on disk (for `ffr status` / `ffr gc`).
+#[derive(Debug, Clone)]
+pub struct LeaseInfo {
+    /// Full path of the lease file.
+    pub path: PathBuf,
+    /// The decoded record, or `None` for an unreadable file.
+    pub record: Option<LeaseRecord>,
+    /// Last modification time of the file.
+    pub modified: SystemTime,
+}
+
+/// Enumerate lease files in a session's lease directory (sorted by file
+/// name, i.e. by range).
+///
+/// # Errors
+///
+/// Propagates directory-read failures (a missing directory is an empty
+/// list).
+pub fn list_leases(leases_dir: &Path) -> io::Result<Vec<LeaseInfo>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(leases_dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("lease-") || !name.ends_with(".json") {
+            continue;
+        }
+        let path = entry.path();
+        let record = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok());
+        // A worker may release the lease between readdir and stat; a
+        // vanished file is a completed range, not an error.
+        let Ok(metadata) = entry.metadata() else {
+            continue;
+        };
+        let modified = metadata.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+        out.push(LeaseInfo {
+            path,
+            record,
+            modified,
+        });
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+/// Enumerate shard checkpoints in a session's shard directory (sorted by
+/// range). Unreadable shard files are skipped — a torn write is
+/// impossible (atomic renames), so these are foreign files.
+///
+/// # Errors
+///
+/// Propagates directory-read failures (a missing directory is an empty
+/// list).
+pub fn list_shards(shards_dir: &Path) -> io::Result<Vec<ShardCheckpoint>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(shards_dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("shard-") || !name.ends_with(".json") {
+            continue;
+        }
+        if let Ok(shard) = ShardCheckpoint::load(&entry.path()) {
+            out.push(shard);
+        }
+    }
+    out.sort_by_key(|s| (s.range_start, s.range_end));
+    Ok(out)
+}
+
+/// Delete expired lease files (and unreadable ones older than an hour,
+/// which no live writer can still be producing); returns
+/// `(removed, kept)`. Used by `ffr gc --campaign`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn sweep_expired_leases(leases_dir: &Path) -> io::Result<(usize, usize)> {
+    let now = unix_now();
+    let mut removed = 0;
+    let mut kept = 0;
+    for info in list_leases(leases_dir)? {
+        let expired = match &info.record {
+            Some(record) => record.is_expired(now),
+            None => SystemTime::now()
+                .duration_since(info.modified)
+                .is_ok_and(|age| age > Duration::from_secs(3600)),
+        };
+        if expired {
+            match std::fs::remove_file(&info.path) {
+                Ok(()) => removed += 1,
+                // Another sweeper (or the lease's worker) got there first.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        } else {
+            kept += 1;
+        }
+    }
+    Ok((removed, kept))
+}
+
+/// Delete every shard checkpoint in a session's shard directory. Only
+/// call once the campaign's merged checkpoint is durably complete (the
+/// shards are then a redundant copy of its point records); used by
+/// `ffr gc --campaign`. Returns how many shard files were removed.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn sweep_shards(shards_dir: &Path) -> io::Result<usize> {
+    let mut removed = 0;
+    let entries = match std::fs::read_dir(shards_dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("shard-") || !name.ends_with(".json") {
+            continue;
+        }
+        match std::fs::remove_file(entry.path()) {
+            Ok(()) => removed += 1,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(removed)
+}
+
+/// The store-backed distributed work source: lease files + shard
+/// checkpoints in a campaign session directory shared by all workers.
+///
+/// See the [module docs](self) for the lease lifecycle and why races
+/// degrade to harmless duplicated work rather than corruption.
+pub struct LeaseQueue {
+    leases_dir: PathBuf,
+    shards_dir: PathBuf,
+    fingerprint: String,
+    worker: String,
+    ranges: Vec<Range<usize>>,
+    ttl: Duration,
+    poll: Duration,
+    cancel: CancelToken,
+    state: Mutex<QueueState>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// Range indices currently leased by this process.
+    held: Vec<usize>,
+    /// Held ranges whose on-disk shard has been folded into the
+    /// in-memory checkpoint ([`WorkSource::hydrate`]). Until then the
+    /// checkpoint knows less about the range than the shard file does,
+    /// so flushes must not touch it.
+    hydrated: HashSet<usize>,
+    /// Range indices whose shard is known complete (scan cache).
+    complete: HashSet<usize>,
+}
+
+impl LeaseQueue {
+    /// Open the lease queue of a campaign session, creating the lease and
+    /// shard directories if needed.
+    ///
+    /// `lease_points` is the range granularity (points per lease): small
+    /// ranges balance better across workers, large ranges amortize lease
+    /// I/O. `ttl` must comfortably exceed the worst-case time between two
+    /// heartbeats; `poll` is the rescan interval while waiting on other
+    /// workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        session_dir: &Path,
+        fingerprint: String,
+        worker: String,
+        num_points: usize,
+        lease_points: usize,
+        ttl: Duration,
+        poll: Duration,
+        cancel: CancelToken,
+    ) -> io::Result<LeaseQueue> {
+        let leases_dir = session_dir.join("leases");
+        let shards_dir = session_dir.join("shards");
+        std::fs::create_dir_all(&leases_dir)?;
+        std::fs::create_dir_all(&shards_dir)?;
+        Ok(LeaseQueue {
+            leases_dir,
+            shards_dir,
+            fingerprint,
+            worker,
+            ranges: lease_ranges(num_points, lease_points),
+            ttl,
+            poll,
+            cancel,
+            state: Mutex::new(QueueState::default()),
+        })
+    }
+
+    /// The lease ranges of this campaign.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    fn lease_path(&self, index: usize) -> PathBuf {
+        self.leases_dir.join(lease_file_name(&self.ranges[index]))
+    }
+
+    fn shard_path(&self, index: usize) -> PathBuf {
+        self.shards_dir.join(shard_file_name(&self.ranges[index]))
+    }
+
+    fn fresh_record(&self, index: usize) -> LeaseRecord {
+        let now = unix_now();
+        LeaseRecord {
+            version: LEASE_VERSION,
+            fingerprint: self.fingerprint.clone(),
+            worker: self.worker.clone(),
+            range_start: self.ranges[index].start,
+            range_end: self.ranges[index].end,
+            acquired_unix: now,
+            expires_unix: now + self.ttl.as_secs().max(1),
+        }
+    }
+
+    /// `true` if the range's shard on disk is complete. Pure file check;
+    /// the caller (holding the state lock) caches positives.
+    fn shard_complete_on_disk(&self, index: usize) -> bool {
+        matches!(
+            ShardCheckpoint::load(&self.shard_path(index)),
+            Ok(shard) if shard.fingerprint == self.fingerprint && shard.is_complete()
+        )
+    }
+
+    /// How range `index`'s lease file looks on disk right now.
+    fn lease_on_disk(&self, index: usize) -> LeaseOnDisk {
+        let path = self.lease_path(index);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return LeaseOnDisk::Absent;
+        };
+        match serde_json::from_str::<LeaseRecord>(&text) {
+            Ok(record) if record.is_expired(unix_now()) => LeaseOnDisk::Reclaimable,
+            // Our own worker id without a held entry is either a stale
+            // lease of a crashed previous incarnation (reclaim fast) or a
+            // live process that was misconfigured to share our id (don't
+            // perpetually steal). The two are distinguished by heartbeat
+            // recency: a live holder refreshes `acquired_unix` every
+            // ttl/3, so a lease that has gone more than ttl/2 without a
+            // refresh has no live holder. (claim() never reaches here for
+            // ranges held by sibling threads of this process.)
+            Ok(record) if record.worker == self.worker => {
+                let grace = (self.ttl.as_secs() / 2).max(1);
+                if unix_now() > record.acquired_unix + grace {
+                    LeaseOnDisk::Reclaimable
+                } else {
+                    LeaseOnDisk::Live
+                }
+            }
+            Ok(_) => LeaseOnDisk::Live,
+            // Unreadable: reclaim only once it is old enough that no live
+            // writer can still be producing it; until then wait it out.
+            Err(_) => {
+                let old = std::fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|m| SystemTime::now().duration_since(m).ok())
+                    .is_some_and(|age| age > self.ttl);
+                if old {
+                    LeaseOnDisk::Reclaimable
+                } else {
+                    LeaseOnDisk::Live
+                }
+            }
+        }
+    }
+
+    /// Acquire the lease on range `index` (optionally removing an
+    /// expired/stale predecessor first); `Ok(true)` on success. Must be
+    /// called with the state lock held: that serializes the sibling
+    /// threads of this process — the only other writers sharing our
+    /// worker id — so a lease freshly won by one thread can never be
+    /// mistaken for our own stale leftover and stolen by another.
+    /// Cross-process races remain and are benign: losing `create_exclusive`
+    /// is a clean miss, and the rare double-claim through a reclaim
+    /// interleaving only duplicates deterministic work.
+    fn acquire(&self, index: usize, state: &mut QueueState, reclaim: bool) -> io::Result<bool> {
+        let path = self.lease_path(index);
+        if reclaim {
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let json =
+            serde_json::to_string_pretty(&self.fresh_record(index)).map_err(io::Error::other)?;
+        if create_exclusive(&path, &json)? {
+            state.held.push(index);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Extend the expiry of every lease this process holds (called from
+    /// the worker's heartbeat thread). Runs under the state lock so a
+    /// concurrent `chunk_done`/`release_held` cannot have its lease
+    /// removal undone by a heartbeat rewrite. Failures are returned so
+    /// the caller can log them, but a missed heartbeat is not fatal — the
+    /// lease expires and the range is recomputed elsewhere, identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O failure.
+    pub fn refresh_held(&self) -> io::Result<()> {
+        let state = self.state.lock().expect("queue lock");
+        for &index in &state.held {
+            let record = self.fresh_record(index);
+            let json = serde_json::to_string_pretty(&record).map_err(io::Error::other)?;
+            atomic_write(&self.lease_path(index), &json)?;
+        }
+        Ok(())
+    }
+
+    /// Release every lease this process still holds *without* completing
+    /// it (graceful shutdown or error unwind): the partial shard stays on
+    /// disk, so the next claimer resumes mid-plan instead of waiting out
+    /// the TTL.
+    pub fn release_held(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        for index in std::mem::take(&mut state.held) {
+            let _ = std::fs::remove_file(self.lease_path(index));
+            state.hydrated.remove(&index);
+        }
+    }
+
+    /// Flush a (possibly partial) shard for every held range — the sink
+    /// counterpart of [`CampaignCheckpoint::save`] for distributed runs.
+    ///
+    /// Ranges claimed but not yet hydrated are skipped: until
+    /// [`WorkSource::hydrate`] folds the previous holder's shard into the
+    /// in-memory checkpoint, a flush would overwrite that shard with an
+    /// emptier view and lose the reclaimed progress.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn flush_held(&self, checkpoint: &CampaignCheckpoint) -> io::Result<()> {
+        let state = self.state.lock().expect("queue lock");
+        for &index in &state.held {
+            if !state.hydrated.contains(&index) {
+                continue;
+            }
+            checkpoint
+                .shard(&self.worker, self.ranges[index].clone())
+                .save(&self.shard_path(index))?;
+        }
+        Ok(())
+    }
+
+    /// `true` once every lease range has a complete shard on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn all_ranges_complete(&self) -> io::Result<bool> {
+        let mut state = self.state.lock().expect("queue lock");
+        for index in 0..self.ranges.len() {
+            if state.complete.contains(&index) {
+                continue;
+            }
+            if !self.shard_complete_on_disk(index) {
+                return Ok(false);
+            }
+            state.complete.insert(index);
+        }
+        Ok(true)
+    }
+}
+
+/// Result of probing a lease file (see [`LeaseQueue::lease_on_disk`]).
+enum LeaseOnDisk {
+    /// No lease file: the range is unclaimed (complete, or claimable).
+    Absent,
+    /// A live lease held elsewhere: wait for completion or expiry.
+    Live,
+    /// Expired, our own crashed incarnation's, or unreadably old:
+    /// claimable after removing the file.
+    Reclaimable,
+}
+
+impl WorkSource for LeaseQueue {
+    /// Claim the next available lease range, waiting (and polling) while
+    /// every remaining range is held by a live other worker. Returns an
+    /// empty chunk once all ranges are complete or cancellation is
+    /// observed.
+    ///
+    /// The scan is cheap while blocked: ranges under a live lease are
+    /// skipped on the lease probe alone (no shard parsing), and complete
+    /// shards are parsed at most once (cached positives).
+    fn claim(&self) -> io::Result<Vec<usize>> {
+        loop {
+            if self.cancel.is_cancelled() {
+                return Ok(Vec::new());
+            }
+            let mut outstanding = false;
+            for index in 0..self.ranges.len() {
+                let mut state = self.state.lock().expect("queue lock");
+                if state.complete.contains(&index) {
+                    continue;
+                }
+                if state.held.contains(&index) {
+                    // A sibling thread of this process is computing the
+                    // range; its chunk_done will mark it complete.
+                    outstanding = true;
+                    continue;
+                }
+                match self.lease_on_disk(index) {
+                    LeaseOnDisk::Live => {
+                        outstanding = true;
+                    }
+                    LeaseOnDisk::Absent => {
+                        // Unclaimed: either finished (complete shard, no
+                        // lease) or claimable.
+                        if self.shard_complete_on_disk(index) {
+                            state.complete.insert(index);
+                            continue;
+                        }
+                        outstanding = true;
+                        if self.acquire(index, &mut state, false)? {
+                            return Ok(self.ranges[index].clone().collect());
+                        }
+                    }
+                    LeaseOnDisk::Reclaimable => {
+                        outstanding = true;
+                        if self.acquire(index, &mut state, true)? {
+                            return Ok(self.ranges[index].clone().collect());
+                        }
+                    }
+                }
+            }
+            if !outstanding {
+                return Ok(Vec::new());
+            }
+            std::thread::sleep(self.poll);
+        }
+    }
+
+    /// Merge the range's on-disk shard (a previous holder's progress)
+    /// into the checkpoint, so a reclaimed lease continues mid-plan.
+    /// Marks the range hydrated, unlocking shard flushes for it.
+    fn hydrate(&self, chunk: &[usize], checkpoint: &mut CampaignCheckpoint) -> io::Result<()> {
+        let Some(&start) = chunk.first() else {
+            return Ok(());
+        };
+        let index = self
+            .ranges
+            .iter()
+            .position(|r| r.start == start)
+            .expect("claimed chunk matches a lease range");
+        let merged = match ShardCheckpoint::load(&self.shard_path(index)) {
+            Ok(shard) => {
+                // A foreign-fingerprint shard in our session directory is
+                // real corruption — surface it instead of recomputing.
+                checkpoint.merge_shard(&shard).map(|_| ())
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            // Unreadable (foreign/damaged) shard: recomputing is always
+            // safe, the next flush atomically replaces it.
+            Err(_) => Ok(()),
+        };
+        if merged.is_ok() {
+            self.state
+                .lock()
+                .expect("queue lock")
+                .hydrated
+                .insert(index);
+        }
+        merged
+    }
+
+    /// Persist the completed shard and release the lease. The shard write
+    /// and lease removal happen under the state lock, so a concurrent
+    /// heartbeat ([`LeaseQueue::refresh_held`]) cannot resurrect the
+    /// lease file of a range that just completed.
+    fn chunk_done(&self, chunk: &[usize], checkpoint: &CampaignCheckpoint) -> io::Result<()> {
+        let Some(&start) = chunk.first() else {
+            return Ok(());
+        };
+        let index = self
+            .ranges
+            .iter()
+            .position(|r| r.start == start)
+            .expect("completed chunk matches a lease range");
+        let shard = checkpoint.shard(&self.worker, self.ranges[index].clone());
+        let mut state = self.state.lock().expect("queue lock");
+        shard.save(&self.shard_path(index))?;
+        let _ = std::fs::remove_file(self.lease_path(index));
+        state.held.retain(|&i| i != index);
+        state.hydrated.remove(&index);
+        state.complete.insert(index);
+        Ok(())
+    }
+
+    fn parallelism_hint(&self) -> usize {
+        self.ranges.len().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptivePolicy;
+    use crate::checkpoint::CheckpointParams;
+    use ffr_fault::FaultKind;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ffr_work_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn checkpoint(num: usize) -> CampaignCheckpoint {
+        CampaignCheckpoint::fresh_seu(
+            "fp".into(),
+            CheckpointParams {
+                fault: FaultKind::Seu,
+                seed: 1,
+                window_start: 0,
+                window_end: 10,
+                policy: AdaptivePolicy::fixed(64),
+            },
+            num,
+        )
+    }
+
+    fn queue(dir: &Path, worker: &str, num: usize, per: usize, ttl: Duration) -> LeaseQueue {
+        LeaseQueue::open(
+            dir,
+            "fp".into(),
+            worker.into(),
+            num,
+            per,
+            ttl,
+            Duration::from_millis(5),
+            CancelToken::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lease_ranges_partition_the_point_list() {
+        assert_eq!(lease_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(lease_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(lease_ranges(3, 8), vec![0..3]);
+        assert_eq!(lease_ranges(0, 4), Vec::<Range<usize>>::new());
+        assert_eq!(lease_ranges(5, 0), vec![0..1, 1..2, 2..3, 3..4, 4..5]);
+    }
+
+    #[test]
+    fn cursor_source_hands_out_disjoint_chunks() {
+        let mut cp = checkpoint(10);
+        cp.points[3].complete = true;
+        let source = CursorSource::new(&cp, 4);
+        let mut seen = Vec::new();
+        loop {
+            let chunk = source.claim().unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            seen.extend(chunk);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn two_queues_never_hold_the_same_range() {
+        let dir = tmp_dir("disjoint");
+        let a = queue(&dir, "a", 8, 4, Duration::from_secs(60));
+        let b = queue(&dir, "b", 8, 4, Duration::from_secs(60));
+        let chunk_a = a.claim().unwrap();
+        let chunk_b = b.claim().unwrap();
+        assert_eq!(chunk_a.len(), 4);
+        assert_eq!(chunk_b.len(), 4);
+        assert_ne!(chunk_a[0], chunk_b[0], "ranges must be disjoint");
+        let leases = list_leases(&dir.join("leases")).unwrap();
+        assert_eq!(leases.len(), 2);
+        let workers: Vec<_> = leases
+            .iter()
+            .map(|l| l.record.as_ref().unwrap().worker.clone())
+            .collect();
+        assert!(workers.contains(&"a".to_string()));
+        assert!(workers.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn chunk_done_flushes_shard_and_releases_lease() {
+        let dir = tmp_dir("done");
+        let q = queue(&dir, "w", 4, 4, Duration::from_secs(60));
+        let mut cp = checkpoint(4);
+        let chunk = q.claim().unwrap();
+        assert_eq!(chunk, vec![0, 1, 2, 3]);
+        for p in &mut cp.points {
+            p.complete = true;
+            p.injections_done = 64;
+        }
+        q.chunk_done(&chunk, &cp).unwrap();
+        assert!(list_leases(&dir.join("leases")).unwrap().is_empty());
+        let shards = list_shards(&dir.join("shards")).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert!(shards[0].is_complete());
+        assert_eq!(shards[0].worker, "w");
+        assert!(q.all_ranges_complete().unwrap());
+        // Drained: nothing left to claim.
+        assert!(q.claim().unwrap().is_empty());
+    }
+
+    #[test]
+    fn expired_lease_is_reclaimed_and_hydrates_partial_shard() {
+        let dir = tmp_dir("reclaim");
+        // Worker "dead" claims with a zero-ish TTL and flushes partial
+        // progress, then vanishes without releasing.
+        let dead = queue(&dir, "dead", 4, 4, Duration::from_secs(1));
+        let chunk = dead.claim().unwrap();
+        let mut cp = checkpoint(4);
+        dead.hydrate(&chunk, &mut cp).unwrap();
+        cp.points[0].injections_done = 64;
+        cp.points[0].counts[0] = 64;
+        dead.flush_held(&cp).unwrap();
+        drop(dead);
+        std::thread::sleep(Duration::from_millis(2100));
+
+        // A live worker reclaims the expired lease…
+        let live = queue(&dir, "live", 4, 4, Duration::from_secs(60));
+        let chunk2 = live.claim().unwrap();
+        assert_eq!(chunk2, chunk, "expired range is claimable again");
+        let leases = list_leases(&dir.join("leases")).unwrap();
+        assert_eq!(leases[0].record.as_ref().unwrap().worker, "live");
+
+        // …and hydration resumes from the dead worker's partial shard.
+        let mut fresh = checkpoint(4);
+        live.hydrate(&chunk2, &mut fresh).unwrap();
+        assert_eq!(fresh.points[0].injections_done, 64);
+    }
+
+    #[test]
+    fn live_lease_is_not_stealable_and_refresh_extends_it() {
+        let dir = tmp_dir("live");
+        let holder = queue(&dir, "holder", 4, 4, Duration::from_secs(60));
+        let _chunk = holder.claim().unwrap();
+        let before = list_leases(&dir.join("leases")).unwrap()[0]
+            .record
+            .clone()
+            .unwrap();
+
+        // A rival sees the live lease and cannot acquire the range.
+        let rival = queue(&dir, "rival", 4, 4, Duration::from_secs(60));
+        assert!(matches!(rival.lease_on_disk(0), LeaseOnDisk::Live));
+        {
+            let mut state = rival.state.lock().unwrap();
+            assert!(
+                !rival.acquire(0, &mut state, false).unwrap(),
+                "live lease must hold"
+            );
+        }
+
+        std::thread::sleep(Duration::from_millis(1100));
+        holder.refresh_held().unwrap();
+        let after = list_leases(&dir.join("leases")).unwrap()[0]
+            .record
+            .clone()
+            .unwrap();
+        assert_eq!(after.worker, "holder");
+        assert!(after.expires_unix > before.expires_unix);
+
+        // Graceful release frees the range for the rival immediately.
+        holder.release_held();
+        assert!(matches!(rival.lease_on_disk(0), LeaseOnDisk::Absent));
+        let mut state = rival.state.lock().unwrap();
+        assert!(rival.acquire(0, &mut state, false).unwrap());
+    }
+
+    #[test]
+    fn flush_held_never_clobbers_an_unhydrated_shard() {
+        // A sibling thread's checkpoint flush can fire between claim()
+        // and hydrate(); the previous holder's shard must survive it.
+        let dir = tmp_dir("clobber");
+        let mut with_progress = checkpoint(4);
+        with_progress.points[0].injections_done = 64;
+        with_progress.points[0].counts[0] = 64;
+        let dead = queue(&dir, "dead", 4, 4, Duration::from_secs(1));
+        let chunk = dead.claim().unwrap();
+        let mut cp0 = checkpoint(4);
+        dead.hydrate(&chunk, &mut cp0).unwrap();
+        dead.flush_held(&with_progress).unwrap();
+        drop(dead);
+        std::thread::sleep(Duration::from_millis(2100));
+
+        let live = queue(&dir, "live", 4, 4, Duration::from_secs(60));
+        let chunk = live.claim().unwrap();
+        // Flush before hydration: must NOT rewrite the shard from the
+        // fresh (emptier) checkpoint.
+        let mut fresh = checkpoint(4);
+        live.flush_held(&fresh).unwrap();
+        let shards = list_shards(&dir.join("shards")).unwrap();
+        assert_eq!(shards[0].points[0].injections_done, 64, "shard clobbered");
+        // After hydration the flush covers the range again — now with the
+        // merged progress, so nothing is lost.
+        live.hydrate(&chunk, &mut fresh).unwrap();
+        assert_eq!(fresh.points[0].injections_done, 64);
+        live.flush_held(&fresh).unwrap();
+        let shards = list_shards(&dir.join("shards")).unwrap();
+        assert_eq!(shards[0].points[0].injections_done, 64);
+        assert_eq!(shards[0].worker, "live");
+    }
+
+    #[test]
+    fn sibling_threads_never_claim_the_same_range() {
+        // All runner threads of one process share a LeaseQueue (and thus
+        // a worker id): concurrent claims must still hand out disjoint
+        // ranges — a sibling's fresh lease is not a "stale own lease".
+        let dir = tmp_dir("siblings");
+        let q = queue(&dir, "w", 32, 4, Duration::from_secs(60));
+        let chunks: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| scope.spawn(|| q.claim().unwrap()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut starts: Vec<usize> = chunks.iter().map(|c| c[0]).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        assert_eq!(starts.len(), 8, "each thread must claim a distinct range");
+        assert_eq!(q.state.lock().unwrap().held.len(), 8);
+        assert_eq!(list_leases(&dir.join("leases")).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn claim_waits_out_other_workers_leases() {
+        // One range, held by a short-TTL worker that dies: a second
+        // worker's claim() must poll until the lease expires, then win.
+        let dir = tmp_dir("wait");
+        let dead = queue(&dir, "dead", 2, 2, Duration::from_secs(1));
+        assert_eq!(dead.claim().unwrap(), vec![0, 1]);
+        drop(dead);
+
+        let live = queue(&dir, "live", 2, 2, Duration::from_secs(60));
+        let start = std::time::Instant::now();
+        let chunk = live.claim().unwrap();
+        assert_eq!(chunk, vec![0, 1]);
+        assert!(
+            start.elapsed() >= Duration::from_millis(900),
+            "claim must have waited for expiry, not stolen a live lease"
+        );
+    }
+}
