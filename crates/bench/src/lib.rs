@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod policy_study;
+
 use ffr_campaign::{ArtifactKind, ArtifactStore, StoreKey};
 use ffr_circuits::{Mac10geConfig, MacJudge, MacTestbench, PacketExtractor, TrafficConfig};
 use ffr_core::ReferenceDataset;

@@ -68,9 +68,13 @@ RUN OPTIONS:
     --seed <n>              campaign master seed            [default: 2019]
     --stim-seed <n>         stimulus seed                   [default: 1]
     --cycles <n>            testbench cycles (generic circuits) [default: 400]
-    --injections <n>        fixed injections per point      [default: 170]
-    --adaptive <min:max:hw> adaptive stopping: min/max injections and
-                            target Wilson 95% CI half-width (e.g. 64:512:0.05)
+    --policy <spec>         stopping policy: fixed:<n>, or
+                            wilson:<half_width>@<confidence>[:<min>..<max>]
+                            (e.g. fixed:170, wilson:0.05@95,
+                            wilson:0.02@99:64..340)         [default: fixed:170]
+    --injections <n>        shorthand for --policy fixed:<n>
+    --adaptive <min:max:hw> shorthand for --policy
+                            wilson:<hw>@95:<min>..<max> (e.g. 64:512:0.05)
     --budget <fraction>     measure only this fraction of injection points
                             (a seeded random subset; `ffr estimate` predicts
                             the rest)                       [default: 1.0]
@@ -158,23 +162,17 @@ impl Args {
     }
 }
 
+/// The legacy `--adaptive min:max:hw` shorthand: rewritten into the
+/// canonical `wilson:` spec and parsed by the one policy grammar, so the
+/// shorthand can never drift from what `--policy` accepts.
 fn parse_adaptive(spec: &str) -> Result<AdaptivePolicy, String> {
     let parts: Vec<&str> = spec.split(':').collect();
-    if parts.len() != 3 {
+    let [min, max, hw] = parts.as_slice() else {
         return Err("expected --adaptive min:max:half_width (e.g. 64:512:0.05)".into());
-    }
-    let min: usize = parts[0].parse().map_err(|e| format!("adaptive min: {e}"))?;
-    let max: usize = parts[1].parse().map_err(|e| format!("adaptive max: {e}"))?;
-    let hw: f64 = parts[2]
+    };
+    format!("wilson:{hw}@95:{min}..{max}")
         .parse()
-        .map_err(|e| format!("adaptive half-width: {e}"))?;
-    if min > max {
-        return Err("adaptive min must not exceed max".into());
-    }
-    if !(hw > 0.0 && hw < 0.5) {
-        return Err("adaptive half-width must be in (0, 0.5)".into());
-    }
-    Ok(AdaptivePolicy::adaptive(min, max, hw))
+        .map_err(|e| format!("--adaptive {spec}: {e}"))
 }
 
 fn runner_options(args: &mut Args) -> Result<RunnerOptions, String> {
@@ -265,17 +263,24 @@ fn run_request_from_args(args: &mut Args) -> Result<RunRequest, String> {
     if let Some(cycles) = args.parsed::<u64>("cycles")? {
         request.cycles = cycles;
     }
+    let policy = args.value("policy")?;
     let injections = args.parsed::<usize>("injections")?;
     let adaptive = args.value("adaptive")?;
-    request.policy = match (injections, adaptive) {
-        (Some(_), Some(_)) => {
-            return Err("--injections and --adaptive are mutually exclusive \
-                        (the adaptive spec carries its own max)"
+    request.policy = match (policy, injections, adaptive) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) | (_, Some(_), Some(_)) => {
+            return Err("--policy, --injections and --adaptive are mutually \
+                        exclusive (each fully specifies the stopping rule)"
                 .into())
         }
-        (None, Some(spec)) => parse_adaptive(&spec)?,
-        (Some(n), None) => AdaptivePolicy::fixed(n),
-        (None, None) => AdaptivePolicy::fixed(170),
+        (Some(spec), None, None) => spec.parse()?,
+        (None, Some(n), None) => {
+            if n == 0 {
+                return Err("--injections must be positive".into());
+            }
+            AdaptivePolicy::fixed(n)
+        }
+        (None, None, Some(spec)) => parse_adaptive(&spec)?,
+        (None, None, None) => AdaptivePolicy::fixed(170),
     };
     if let Some(budget) = args.parsed::<f64>("budget")? {
         request.budget = budget;
@@ -479,7 +484,7 @@ fn gather_status(out: &std::path::Path) -> Result<(StatusReport, FaultKind), Str
         circuit: manifest.circuit.clone(),
         fault: manifest.fault.to_string(),
         seed: manifest.seed,
-        policy: manifest.policy.describe(),
+        policy: manifest.policy.to_string(),
         fingerprint: manifest.fingerprint.clone(),
         progress,
         workers,
@@ -878,6 +883,44 @@ mod tests {
         assert!(parse_adaptive("64:512").is_err());
         assert!(parse_adaptive("512:64:0.05").is_err());
         assert!(parse_adaptive("64:512:0.9").is_err());
+    }
+
+    #[test]
+    fn policy_flag_parsing_and_exclusivity() {
+        let request = |flags: &[&str]| -> Result<crate::session::RunRequest, String> {
+            let mut all = vec!["--circuit", "counter"];
+            all.extend_from_slice(flags);
+            let mut args = Args::parse(&strs(&all)).unwrap();
+            let request = run_request_from_args(&mut args)?;
+            args.finish()?;
+            Ok(request)
+        };
+
+        // --policy takes the canonical spec grammar…
+        let r = request(&["--policy", "wilson:0.05@95:64..170"]).unwrap();
+        assert_eq!(r.policy.to_string(), "wilson:0.05@95:64..170");
+        let r = request(&["--policy", "fixed:96"]).unwrap();
+        assert_eq!(r.policy, AdaptivePolicy::fixed(96));
+
+        // …the legacy shorthands still work…
+        let r = request(&["--injections", "64"]).unwrap();
+        assert_eq!(r.policy, AdaptivePolicy::fixed(64));
+        let r = request(&["--adaptive", "64:512:0.05"]).unwrap();
+        assert_eq!(r.policy.to_string(), "wilson:0.05@95:64..512");
+        let r = request(&[]).unwrap();
+        assert_eq!(r.policy, AdaptivePolicy::fixed(170));
+
+        // …and the three notations are mutually exclusive.
+        for flags in [
+            &["--policy", "fixed:96", "--injections", "64"][..],
+            &["--policy", "fixed:96", "--adaptive", "64:512:0.05"][..],
+            &["--injections", "64", "--adaptive", "64:512:0.05"][..],
+        ] {
+            let err = request(flags).unwrap_err();
+            assert!(err.contains("mutually exclusive"), "{flags:?}: {err}");
+        }
+        assert!(request(&["--policy", "bogus:1"]).is_err());
+        assert!(request(&["--injections", "0"]).is_err());
     }
 
     #[test]

@@ -23,7 +23,13 @@
 //! * **Adaptive early stopping** ([`adaptive`]) — a point is retired as
 //!   soon as the Wilson confidence interval on its failure fraction is
 //!   tight enough, typically cutting campaign cost severalfold on bimodal
-//!   populations.
+//!   populations. Stopping rules are named **policy specs** (`fixed:170`,
+//!   `wilson:0.05@95`, `wilson:0.02@99:64..340`) parsed and printed in
+//!   one place ([`AdaptivePolicy`]'s `FromStr`/`Display`) and plumbed
+//!   through `--policy`, the manifest and the campaign fingerprint, so
+//!   differently-policied campaigns cache independently and resume
+//!   byte-identically; `ffr-bench --bin policy_study` quantifies the
+//!   accuracy-vs-cost trade-off (see `docs/policy-study.md`).
 //! * **Pluggable work distribution** ([`work`], [`runner`]) — the runner
 //!   is generic over a [`WorkSource`]: threads claim
 //!   injection points from the in-process work-stealing cursor
@@ -67,7 +73,10 @@ pub mod work;
 
 pub use adaptive::{AdaptivePolicy, CHUNK_INJECTIONS};
 pub use checkpoint::{CampaignCheckpoint, CheckpointParams, PointProgress, ShardCheckpoint};
-pub use estimate::{EstimateOptions, EstimateReport, EstimateSummary, FfEstimateRow, ModelReport};
+pub use estimate::{
+    estimate_from_store, estimate_session, EstimateOptions, EstimateReport, EstimateSummary,
+    FfEstimateRow, ModelReport,
+};
 pub use runner::{run_resumable, run_with_source, CancelToken, RunOutcome, RunnerOptions};
 pub use session::{
     CampaignManifest, RunRequest, RunSummary, SessionPaths, WorkerRequest, WorkerSummary,

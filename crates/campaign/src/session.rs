@@ -402,7 +402,9 @@ pub(crate) fn golden_for(
 
 /// The store key of a campaign's final table: a fingerprint of the
 /// netlist structure, the stimulus, the fault model and every campaign
-/// parameter (window, seed, policy, budget).
+/// parameter (window, seed, policy, budget). The policy enters through
+/// its canonical spec rendering ([`AdaptivePolicy`]'s `Display`), so two
+/// campaigns with different `--policy` values never share a cache entry.
 pub fn campaign_table_key(
     request: &RunRequest,
     prepared: &crate::spec::PreparedCircuit,
@@ -414,7 +416,7 @@ pub fn campaign_table_key(
         prepared.window.start,
         prepared.window.end,
         request.seed,
-        request.policy.describe(),
+        request.policy,
         request.budget
     );
     StoreKey::of(prepared.cc.netlist(), &campaign_desc)
@@ -1132,6 +1134,105 @@ mod tests {
         let a = CampaignManifest::load(&SessionPaths::new(&out_seu).manifest()).unwrap();
         let b = CampaignManifest::load(&SessionPaths::new(&out_set).manifest()).unwrap();
         assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn distinct_policies_get_distinct_fingerprints() {
+        // Same circuit/seed/stimulus, different stopping policies: every
+        // fingerprint must differ, so the campaigns cache independently.
+        let prepared = CircuitSpec::Counter { width: 6 }.prepare(1, 160);
+        let policies = [
+            "fixed:170",
+            "fixed:64",
+            "wilson:0.05@95:64..170",
+            "wilson:0.05@99:64..170",
+            "wilson:0.02@95:64..170",
+            "wilson:0.05@95:32..170",
+            "wilson:0.05@95:64..340",
+        ];
+        let keys: Vec<String> = policies
+            .iter()
+            .map(|p| {
+                let mut request = quick_request(None);
+                request.policy = p.parse().unwrap();
+                campaign_table_key(&request, &prepared).to_string()
+            })
+            .collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(
+                    keys[i], keys[j],
+                    "{} and {} must not share a fingerprint",
+                    policies[i], policies[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wilson_policy_kill_and_resume_retires_identically() {
+        // Under a non-default adaptive policy, an interrupted campaign
+        // must resume to the byte-identical table — same per-FF injection
+        // spend, same retirement decisions.
+        let mut request = quick_request(None);
+        request.circuit = CircuitSpec::Lfsr { width: 8, depth: 2 };
+        request.policy = "wilson:0.02@99:64..256".parse().unwrap();
+
+        let out_ref = tmp_dir("wilson_ref");
+        run(
+            &request,
+            &out_ref,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        let reference = std::fs::read(out_ref.join("fdr.json")).unwrap();
+        let ref_cp = CampaignCheckpoint::load(&out_ref.join("checkpoint.json")).unwrap();
+        let spends: Vec<usize> = ref_cp.points.iter().map(|p| p.injections_done).collect();
+        assert!(
+            spends.iter().any(|&n| n < 256) && spends.iter().all(|&n| n > 64),
+            "the tight 99 % policy should push every point past the floor \
+             and still retire some before the cap (got {spends:?})"
+        );
+
+        let out = tmp_dir("wilson_killed");
+        let summary = run(
+            &request,
+            &out,
+            &RunnerOptions {
+                stop_after_points: Some(2),
+                threads: Some(2),
+                ..RunnerOptions::default()
+            },
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Cancelled);
+        let summary = resume(
+            &out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+        assert_eq!(summary.outcome, RunOutcome::Complete);
+        assert_eq!(
+            reference,
+            std::fs::read(out.join("fdr.json")).unwrap(),
+            "wilson-policy resume must be byte-identical"
+        );
+        let resumed_cp = CampaignCheckpoint::load(&out.join("checkpoint.json")).unwrap();
+        assert_eq!(
+            spends,
+            resumed_cp
+                .points
+                .iter()
+                .map(|p| p.injections_done)
+                .collect::<Vec<_>>(),
+            "resume must retire every point after identical injections"
+        );
     }
 
     #[test]

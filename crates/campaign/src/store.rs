@@ -188,17 +188,20 @@ pub enum ArtifactKind {
     Dataset,
     /// A rendered estimation/campaign report.
     Report,
+    /// A policy accuracy-vs-cost study (`ffr-bench --bin policy_study`).
+    PolicyStudy,
 }
 
 impl ArtifactKind {
     /// All kinds, for directory scans.
-    pub const ALL: [ArtifactKind; 6] = [
+    pub const ALL: [ArtifactKind; 7] = [
         ArtifactKind::GoldenRun,
         ArtifactKind::FdrTable,
         ArtifactKind::SetTable,
         ArtifactKind::Features,
         ArtifactKind::Dataset,
         ArtifactKind::Report,
+        ArtifactKind::PolicyStudy,
     ];
 
     /// `true` for kinds written with the deflate-compressed v2 envelope.
@@ -220,6 +223,7 @@ impl ArtifactKind {
             ArtifactKind::Features => "features",
             ArtifactKind::Dataset => "dataset",
             ArtifactKind::Report => "report",
+            ArtifactKind::PolicyStudy => "policy-study",
         }
     }
 }
@@ -257,6 +261,28 @@ pub struct GcReport {
 }
 
 /// A content-addressed artifact store rooted at a directory.
+///
+/// ```
+/// use ffr_campaign::{ArtifactKind, ArtifactStore, StoreKey};
+///
+/// let root = std::env::temp_dir().join(format!("ffr_store_doc_{}", std::process::id()));
+/// let store = ArtifactStore::open(&root)?;
+///
+/// // Keys address artifacts by netlist hash + configuration hash
+/// // (normally produced by `StoreKey::of(netlist, config_desc)`).
+/// let key = StoreKey { netlist: 0xFEED, config: 0xBEEF };
+/// store.put(ArtifactKind::FdrTable, &key, &vec![0.25f64, 0.5])?;
+///
+/// let cached: Option<Vec<f64>> = store.get(ArtifactKind::FdrTable, &key)?;
+/// assert_eq!(cached, Some(vec![0.25, 0.5]));
+///
+/// // A different key — or kind — is a clean miss, never stale data.
+/// let other = StoreKey { netlist: 0xFEED, config: 0xBEE5 };
+/// assert_eq!(store.get::<Vec<f64>>(ArtifactKind::FdrTable, &other)?, None);
+/// assert_eq!(store.get::<Vec<f64>>(ArtifactKind::Dataset, &key)?, None);
+/// # std::fs::remove_dir_all(&root)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     root: PathBuf,

@@ -648,6 +648,16 @@ impl WorkSource for LeaseQueue {
                         // Unclaimed: either finished (complete shard, no
                         // lease) or claimable.
                         if self.shard_complete_on_disk(index) {
+                            // A worker killed between its final shard
+                            // flush and its lease removal — or a lease
+                            // file whose read transiently failed and
+                            // probed as absent — can leave a stale lease
+                            // on a complete range. Sweep it here so a
+                            // finished campaign holds no lease files;
+                            // deleting a just-resurrected live lease is
+                            // benign (the range's work is complete and
+                            // deterministic either way).
+                            let _ = std::fs::remove_file(self.lease_path(index));
                             state.complete.insert(index);
                             continue;
                         }

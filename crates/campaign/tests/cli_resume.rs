@@ -318,3 +318,87 @@ fn adaptive_cli_campaign_completes_and_saves_injections() {
 
     let _ = std::fs::remove_dir_all(&base);
 }
+
+/// `ffr run --policy …` arguments for a Wilson-CI campaign sized so a
+/// debug-build run survives long enough to be SIGKILLed mid-flight.
+fn policy_campaign_args(out: &str) -> Vec<String> {
+    [
+        "run",
+        "--circuit",
+        "lfsr:16:8",
+        "--out",
+        out,
+        "--policy",
+        "wilson:0.02@99:64..256",
+        "--cycles",
+        "2500",
+        "--checkpoint-every",
+        "1",
+        "--threads",
+        "1",
+        "--seed",
+        "99",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn sigkill_mid_policy_campaign_resumes_byte_identical() {
+    let base = std::env::temp_dir().join(format!("ffr_policy_sigkill_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    // Uninterrupted reference run under the non-default policy.
+    let ref_out = fresh_dir(&base, "reference");
+    let output = ffr(&policy_campaign_args(&ref_out.to_string_lossy())
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>());
+    assert!(
+        output.status.success(),
+        "reference policy run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let reference = std::fs::read(ref_out.join("fdr.json")).unwrap();
+
+    // The canonical policy spec round-trips through the manifest and
+    // shows up verbatim in `ffr status`.
+    let manifest = std::fs::read_to_string(ref_out.join("campaign.json")).unwrap();
+    assert!(manifest.contains("\"ci_half_width\": 0.02"), "{manifest}");
+    let status = ffr(&["status", "--out", &ref_out.to_string_lossy()]);
+    let text = String::from_utf8_lossy(&status.stdout);
+    assert!(text.contains("wilson:0.02@99:64..256"), "{text}");
+
+    // Victim run: SIGKILL as soon as the first checkpoint lands, then
+    // resume to completion.
+    let out = fresh_dir(&base, "victim");
+    let out_s = out.to_string_lossy().into_owned();
+    let args = policy_campaign_args(&out_s);
+    let killed_mid_run = kill_when_checkpointed(&args, &out);
+    if killed_mid_run {
+        assert!(!out.join("fdr.json").exists());
+        for _ in 0..3 {
+            let output = ffr(&["resume", "--out", &out_s]);
+            if output.status.success() {
+                break;
+            }
+        }
+    }
+    let resumed = std::fs::read(out.join("fdr.json")).expect("resumed table exists");
+    assert_eq!(
+        reference, resumed,
+        "SIGKILLed adaptive-policy campaign must resume byte-identically"
+    );
+
+    // A different policy on the same directory is a different campaign.
+    let mut other = policy_campaign_args(&out_s);
+    other[6] = "wilson:0.05@95:64..256".to_string();
+    let output = ffr(&other.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("different campaign"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}

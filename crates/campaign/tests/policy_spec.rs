@@ -1,0 +1,116 @@
+//! Fuzz-ish properties of the policy-spec grammar: `Display` and
+//! `FromStr` on [`AdaptivePolicy`] must round-trip exactly for every
+//! representable policy, because the rendered spec is what the campaign
+//! manifest persists and what the campaign fingerprint hashes — a lossy
+//! rendering would let two different stopping rules share a cache entry
+//! or resume each other's checkpoints.
+
+use ffr_campaign::AdaptivePolicy;
+use proptest::prelude::*;
+
+/// The confidence notations the grammar can emit (`@95`-style percents
+/// plus the explicit-quantile escape hatch).
+const QUANTILES: [f64; 5] = [1.645, 1.96, 2.326, 2.576, 3.1];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(display(p)) == p` for every fixed policy.
+    #[test]
+    fn fixed_policies_round_trip(n in 1usize..5000) {
+        let p = AdaptivePolicy::fixed(n);
+        let spec = p.to_string();
+        prop_assert_eq!(spec.parse::<AdaptivePolicy>().unwrap(), p, "spec `{}`", spec);
+    }
+
+    /// `parse(display(p)) == p` for every Wilson policy the grammar can
+    /// express: arbitrary half-widths, tabled and free-form quantiles,
+    /// arbitrary bounds.
+    #[test]
+    fn wilson_policies_round_trip(
+        hw in 0.001f64..0.499,
+        which_z in 0usize..QUANTILES.len(),
+        min in 0usize..2048,
+        extra in 1usize..2048,
+    ) {
+        let p = AdaptivePolicy {
+            min_injections: min,
+            max_injections: min + extra,
+            z: QUANTILES[which_z],
+            ci_half_width: Some(hw),
+        };
+        let spec = p.to_string();
+        let back: AdaptivePolicy = spec.parse()
+            .unwrap_or_else(|e| panic!("spec `{spec}` failed to parse: {e}"));
+        prop_assert_eq!(back, p, "spec `{}`", spec);
+    }
+
+    /// Rendering is injective over Wilson policies: two policies that
+    /// differ in any field render different specs (so differently-policied
+    /// campaigns can never collide on a fingerprint via the policy part).
+    #[test]
+    fn distinct_wilson_policies_render_distinct_specs(
+        hw_a in 0.001f64..0.499,
+        hw_b in 0.001f64..0.499,
+        za in 0usize..QUANTILES.len(),
+        zb in 0usize..QUANTILES.len(),
+        min_a in 0usize..512,
+        min_b in 0usize..512,
+        extra_a in 1usize..512,
+        extra_b in 1usize..512,
+    ) {
+        let a = AdaptivePolicy {
+            min_injections: min_a,
+            max_injections: min_a + extra_a,
+            z: QUANTILES[za],
+            ci_half_width: Some(hw_a),
+        };
+        let b = AdaptivePolicy {
+            min_injections: min_b,
+            max_injections: min_b + extra_b,
+            z: QUANTILES[zb],
+            ci_half_width: Some(hw_b),
+        };
+        if a != b {
+            prop_assert_ne!(a.to_string(), b.to_string());
+        } else {
+            prop_assert_eq!(a.to_string(), b.to_string());
+        }
+    }
+
+    /// Parsing arbitrary near-miss inputs never panics — it returns a
+    /// guidance error mentioning the grammar.
+    #[test]
+    fn parse_never_panics(
+        kind in 0usize..4,
+        a in any::<u32>(),
+        b in any::<u32>(),
+        hw in -1.0f64..1.5,
+    ) {
+        let kinds = ["fixed", "wilson", "adaptive", ""];
+        let garbage = [
+            format!("{}:{}", kinds[kind], a),
+            format!("{}:{hw}@{}", kinds[kind], b),
+            format!("{}:{hw}@{}:{}..{}", kinds[kind], a, b, a),
+            format!("{hw}"),
+            format!("wilson:{hw}@95:{a}..{b}"),
+        ];
+        for s in &garbage {
+            match s.parse::<AdaptivePolicy>() {
+                // Accepted specs must round-trip.
+                Ok(p) => prop_assert_eq!(
+                    p.to_string().parse::<AdaptivePolicy>().unwrap(),
+                    p.clone(),
+                    "accepted `{}` but it does not round-trip",
+                    s
+                ),
+                Err(e) => prop_assert!(
+                    e.contains("fixed:170"),
+                    "error for `{}` lacks grammar guidance: {}",
+                    s,
+                    e
+                ),
+            }
+        }
+    }
+}

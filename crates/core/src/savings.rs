@@ -5,6 +5,12 @@
 //! numbers: training on 50 % of the flip-flops halves the campaign cost at
 //! (essentially) no accuracy loss, and 20 % training gives a 5× reduction
 //! at a small accuracy penalty.
+//!
+//! The same accuracy-vs-cost framing applies to **stopping policies**:
+//! a Wilson-CI early-stopping campaign spends fewer injections than the
+//! paper's fixed-170 rule for a bounded accuracy loss. [`PolicyCostRow`]
+//! and [`policy_cost_table`] fold per-policy sweep results (from
+//! `ffr-bench --bin policy_study`) into the same report shape.
 
 use ffr_ml::model_selection::LearningCurvePoint;
 
@@ -66,6 +72,76 @@ pub fn render(rows: &[SavingsRow]) -> String {
     out
 }
 
+/// One stopping policy's accuracy-vs-cost outcome, relative to a
+/// reference policy (the paper's fixed-170 rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCostRow {
+    /// Canonical policy spec (`fixed:170`, `wilson:0.05@95:64..170`, …).
+    pub policy: String,
+    /// Injections this policy spent.
+    pub injections: usize,
+    /// Campaign cost reduction vs the reference policy
+    /// (`reference injections / injections`).
+    pub cost_reduction: f64,
+    /// Injections saved vs the reference, as a fraction in [-∞, 1).
+    pub saved_fraction: f64,
+    /// Absolute circuit-FFR deviation from the reference policy's result.
+    pub ffr_delta: f64,
+}
+
+/// Fold per-policy sweep measurements `(spec, injections, |ΔFFR|)` into
+/// cost rows against `reference_injections` (the fixed-policy spend).
+///
+/// # Panics
+///
+/// Panics if `reference_injections` is zero.
+pub fn policy_cost_table<'a>(
+    reference_injections: usize,
+    measurements: impl IntoIterator<Item = (&'a str, usize, f64)>,
+) -> Vec<PolicyCostRow> {
+    assert!(reference_injections > 0, "reference campaign spent nothing");
+    let reference = reference_injections as f64;
+    measurements
+        .into_iter()
+        .map(|(policy, injections, ffr_delta)| PolicyCostRow {
+            policy: policy.to_string(),
+            injections,
+            cost_reduction: reference / injections.max(1) as f64,
+            saved_fraction: 1.0 - injections as f64 / reference,
+            ffr_delta: ffr_delta.abs(),
+        })
+        .collect()
+}
+
+/// Render the policy cost table.
+pub fn render_policy_table(rows: &[PolicyCostRow]) -> String {
+    use std::fmt::Write as _;
+    let width = rows
+        .iter()
+        .map(|r| r.policy.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<width$} {:>12} {:>10} {:>8} {:>10}",
+        "policy", "injections", "saved", "cost", "|dFFR|"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<width$} {:>12} {:>9.1}% {:>7.2}x {:>10.4}",
+            r.policy,
+            r.injections,
+            r.saved_fraction * 100.0,
+            r.cost_reduction,
+            r.ffr_delta
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +180,37 @@ mod tests {
         assert!((loose.cost_reduction - 5.0).abs() < 1e-9);
         let text = render(&table);
         assert!(text.contains("5.0x"));
+    }
+
+    #[test]
+    fn policy_cost_rows_fold_against_the_reference() {
+        let rows = policy_cost_table(
+            128_180,
+            [
+                ("fixed:170", 128_180usize, 0.0),
+                ("wilson:0.05@95:64..170", 83_742, -0.0091),
+                ("wilson:0.02@99:64..340", 189_288, 0.0071),
+            ],
+        );
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].cost_reduction - 1.0).abs() < 1e-12);
+        assert!((rows[0].saved_fraction).abs() < 1e-12);
+        // The Wilson policy saves ~34.7 % and reports |ΔFFR|.
+        assert!(rows[1].saved_fraction > 0.30 && rows[1].saved_fraction < 0.40);
+        assert!(rows[1].cost_reduction > 1.5);
+        assert!((rows[1].ffr_delta - 0.0091).abs() < 1e-12, "delta is |·|");
+        // A tighter-than-reference policy costs more: negative savings.
+        assert!(rows[2].saved_fraction < 0.0);
+        assert!(rows[2].cost_reduction < 1.0);
+        let text = render_policy_table(&rows);
+        assert!(text.contains("wilson:0.05@95:64..170"), "{text}");
+        assert!(text.contains('%'), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "reference campaign spent nothing")]
+    fn zero_reference_injections_panics() {
+        let _ = policy_cost_table(0, []);
     }
 
     #[test]

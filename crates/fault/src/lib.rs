@@ -24,6 +24,23 @@
 //!   lookup once ([`ffr_sim::FaultSite`]) instead of per evaluation,
 //! * **parallel campaign** — injection points are distributed over
 //!   threads with rayon.
+//!
+//! The statistical substrate is usable on its own — injection plans are
+//! pure functions of `(seed, stream, window)`, and campaign sizing /
+//! early stopping both reduce to interval arithmetic:
+//!
+//! ```
+//! use ffr_fault::{sample_injection_times, wilson_interval, z_for_confidence};
+//!
+//! // The paper's fixed plan: 170 injection cycles for one flip-flop.
+//! let plan = sample_injection_times(2019, 0, 100..500, 170);
+//! assert_eq!(plan.len(), 170);
+//!
+//! // Wilson-CI early stopping: 0 failures in 64 injections already
+//! // bounds the FDR below 6 % at 95 % confidence.
+//! let (_, hi) = wilson_interval(0, 64, z_for_confidence(95).unwrap());
+//! assert!(hi < 0.06);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,5 +56,8 @@ pub use campaign::{Campaign, CampaignConfig};
 pub use judge::{FailureJudge, OutputMismatchJudge};
 pub use model::{FailureClass, Fault, FaultKind, InjectionPoint};
 pub use result::{failure_fraction, failures_in, FdrHistogram, FdrTable, FfCampaignResult};
-pub use sampling::{required_sample_size, sample_injection_times, wilson_interval};
+pub use sampling::{
+    confidence_for_z, required_sample_size, sample_injection_times, wilson_interval,
+    z_for_confidence, CONFIDENCE_QUANTILES,
+};
 pub use set::{NetSetResult, SetDeratingTable};

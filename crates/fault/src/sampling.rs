@@ -14,6 +14,16 @@ use rand_chacha::ChaCha8Rng;
 /// The returned times are sorted ascending, which lets the campaign engine
 /// batch them into 64-lane groups with a tight restart window.
 ///
+/// ```
+/// use ffr_fault::sample_injection_times;
+///
+/// let plan = sample_injection_times(2019, 7, 100..500, 170);
+/// assert_eq!(plan.len(), 170);
+/// assert!(plan.iter().all(|&t| (100..500).contains(&t)));
+/// // Same (seed, stream, window) → same plan, no matter who asks when.
+/// assert_eq!(plan, sample_injection_times(2019, 7, 100..500, 170));
+/// ```
+///
 /// # Panics
 ///
 /// Panics if the window is empty.
@@ -58,12 +68,64 @@ pub fn required_sample_size(population: u64, margin: f64, confidence_t: f64, p: 
     (n / denom).ceil() as u64
 }
 
+/// The supported confidence levels of [`z_for_confidence`], as
+/// `(percent, normal quantile)` pairs.
+pub const CONFIDENCE_QUANTILES: [(u32, f64); 4] =
+    [(90, 1.645), (95, 1.96), (98, 2.326), (99, 2.576)];
+
+/// The two-sided normal quantile for a confidence level given in percent
+/// (`None` for levels outside [`CONFIDENCE_QUANTILES`]).
+///
+/// This is the single source of the `@95`-style confidence notation used
+/// by campaign policy specs (`wilson:0.05@95`), so the spec parser, the
+/// Wilson stopping rule and Leveugle et al.'s sizing formula
+/// ([`required_sample_size`]) all agree on what a percentage means.
+///
+/// ```
+/// use ffr_fault::{wilson_interval, z_for_confidence};
+///
+/// let z95 = z_for_confidence(95).unwrap();
+/// assert_eq!(z95, 1.96);
+/// // 0 failures in 64 injections: the 95 % upper bound is already
+/// // below 6 % — the reasoning behind Wilson-CI early stopping.
+/// let (lo, hi) = wilson_interval(0, 64, z95);
+/// assert_eq!(lo, 0.0);
+/// assert!(hi < 0.06);
+/// ```
+pub fn z_for_confidence(percent: u32) -> Option<f64> {
+    CONFIDENCE_QUANTILES
+        .iter()
+        .find(|&&(p, _)| p == percent)
+        .map(|&(_, z)| z)
+}
+
+/// The inverse of [`z_for_confidence`]: the confidence percentage of a
+/// quantile, if it is one of the supported levels (exact match).
+pub fn confidence_for_z(z: f64) -> Option<u32> {
+    CONFIDENCE_QUANTILES
+        .iter()
+        .find(|&&(_, q)| q == z)
+        .map(|&(p, _)| p)
+}
+
 /// Wilson score interval for an estimated failure probability.
 ///
 /// Returns the `(low, high)` bounds of the FDR estimate after observing
 /// `failures` out of `n` injections, at normal quantile `z` (1.96 for
 /// 95 %). Used to report per-flip-flop confidence alongside the point
 /// estimate.
+///
+/// ```
+/// use ffr_fault::wilson_interval;
+///
+/// // 20 failures out of 170 injections, 95 % confidence.
+/// let (lo, hi) = wilson_interval(20, 170, 1.96);
+/// let p = 20.0 / 170.0;
+/// assert!(lo < p && p < hi);
+/// // Ten times the observations tighten the interval.
+/// let (lo2, hi2) = wilson_interval(200, 1700, 1.96);
+/// assert!(hi2 - lo2 < hi - lo);
+/// ```
 ///
 /// # Panics
 ///
@@ -129,6 +191,16 @@ mod tests {
     #[should_panic(expected = "empty injection window")]
     fn empty_window_panics() {
         let _ = sample_injection_times(0, 0, 5..5, 1);
+    }
+
+    #[test]
+    fn confidence_quantiles_round_trip() {
+        for (percent, z) in CONFIDENCE_QUANTILES {
+            assert_eq!(z_for_confidence(percent), Some(z));
+            assert_eq!(confidence_for_z(z), Some(percent));
+        }
+        assert_eq!(z_for_confidence(42), None);
+        assert_eq!(confidence_for_z(1.0), None);
     }
 
     #[test]

@@ -63,6 +63,22 @@ impl Regressor for Box<dyn Regressor + Send + Sync> {
 /// bit-identical, which the campaign CLI relies on for byte-identical
 /// estimation reports.
 ///
+/// ```
+/// use ffr_ml::{fit_predict, Distance, KnnRegressor, WeightScheme};
+///
+/// // Train on measured (feature, FDR) pairs, predict unmeasured rows.
+/// let x = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+/// let y = vec![0.1, 0.9, 0.5];
+/// let unmeasured = vec![vec![0.9, 0.1]];
+///
+/// let knn = || KnnRegressor::new(1, Distance::Manhattan, WeightScheme::Uniform);
+/// let predicted = fit_predict(knn(), &x, &y, &unmeasured);
+/// assert_eq!(predicted, vec![0.9]); // nearest neighbour is (1,0) → 0.9
+///
+/// // Seeded models make the facade a pure function: reruns are identical.
+/// assert_eq!(fit_predict(knn(), &x, &y, &unmeasured), predicted);
+/// ```
+///
 /// # Panics
 ///
 /// Panics on empty/ragged/non-finite training data (see [`Regressor::fit`]).
