@@ -247,6 +247,25 @@ impl CampaignCheckpoint {
         crate::store::atomic_write(path, &json)
     }
 
+    /// [`CampaignCheckpoint::save`] plus flush-latency telemetry: the
+    /// serialize-and-rename time lands in the `checkpoint.flush_us`
+    /// histogram of `recorder`, so `ffr stats` can report how much of a
+    /// campaign went into durability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save_recorded(&self, path: &Path, recorder: &ffr_obs::Recorder) -> io::Result<()> {
+        if !recorder.enabled() {
+            return self.save(path);
+        }
+        let t0 = std::time::Instant::now();
+        let result = self.save(path);
+        recorder.observe_us("checkpoint.flush_us", t0.elapsed().as_micros() as u64);
+        recorder.count("checkpoint.flushes", 1);
+        result
+    }
+
     /// Load a checkpoint previously written by [`CampaignCheckpoint::save`].
     ///
     /// # Errors

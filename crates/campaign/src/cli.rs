@@ -8,6 +8,8 @@
 //!   fleet (lease-based work distribution over a shared directory),
 //! * `ffr status`   — progress of a session directory (including
 //!   per-worker leases and shards; `--json` for machine consumption),
+//! * `ffr stats`    — merged telemetry report of a session directory
+//!   (per-worker throughput, phase spans, latency histograms),
 //! * `ffr estimate` — ML model selection + FDR prediction for the
 //!   flip-flops a budgeted campaign did not measure,
 //! * `ffr report`   — render the finished FDR table (and estimate),
@@ -16,6 +18,12 @@
 //! Argument parsing is hand-rolled (`--flag value` pairs) to stay
 //! dependency-free; [`main_with_args`] returns the process exit code so
 //! the whole CLI is unit-testable without spawning processes.
+//!
+//! Stderr chatter (progress, warnings) goes through the leveled
+//! `ffr-obs` logger: `--quiet` keeps only errors, `-v` enables debug
+//! detail, and `FFR_LOG=error|warn|info|debug` sets the default.
+//! Stdout stays reserved for product output (tables, reports, `--json`
+//! documents), so piping them remains safe at any verbosity.
 
 use crate::adaptive::AdaptivePolicy;
 use crate::checkpoint::CampaignCheckpoint;
@@ -40,10 +48,17 @@ USAGE:
     ffr resume   --out <dir> [--threads N] [--stop-after-points N]
     ffr worker   --campaign <dir> --worker-id <id> [worker options]
     ffr status   --out <dir> [--json]
+    ffr stats    --campaign <dir> [--json]
     ffr estimate --out <dir> [estimate options]
     ffr estimate --circuit <name> --store <dir> [run options] [estimate options]
     ffr report   --out <dir>
     ffr gc       [--store <dir>] [--max-age-days D | --all] [--campaign <dir>]
+
+GLOBAL OPTIONS:
+    --quiet                 only errors on stderr (suppresses progress)
+    -v                      debug-level stderr logging
+                            (FFR_LOG=error|warn|info|debug sets the default;
+                            stdout output is unaffected either way)
 
 WORKER OPTIONS:
     --campaign <dir>        shared campaign session directory (all workers
@@ -193,15 +208,23 @@ fn point_noun(fault: FaultKind) -> &'static str {
 
 fn progress_printer() -> impl Fn(usize, usize) + Sync {
     |done, total| {
-        if done % 16 == 0 || done == total {
+        if ffr_obs::log_enabled(ffr_obs::Level::Info) && (done % 16 == 0 || done == total) {
             eprint!("\r[ffr] {done}/{total} injection points retired");
             let _ = std::io::stderr().flush();
         }
     }
 }
 
+/// Finish the `\r`-style progress line (a no-op under `--quiet`, which
+/// never started one).
+fn end_progress_line() {
+    if ffr_obs::log_enabled(ffr_obs::Level::Info) {
+        eprintln!();
+    }
+}
+
 fn print_summary(summary: &session::RunSummary) {
-    eprintln!();
+    end_progress_line();
     let noun = point_noun(summary.fault);
     if summary.table_from_cache {
         println!(
@@ -356,9 +379,25 @@ struct ProgressStatus {
     complete: bool,
 }
 
+/// Schema version of the `ffr status --json` document (bumped on any
+/// backwards-incompatible change; adding fields is compatible).
+const STATUS_SCHEMA_VERSION: u64 = 1;
+
+/// Live rates derived from the session's telemetry logs, when available.
+#[derive(Debug, Clone, Serialize)]
+struct TelemetryStatus {
+    /// Observed injection throughput (injections per worker-second of
+    /// measurement).
+    injections_per_sec: f64,
+    /// Estimated seconds to retire the remaining points at that rate
+    /// (absent once complete, or before any point has been retired).
+    eta_secs: Option<u64>,
+}
+
 /// The full `ffr status` report (also the `--json` document).
 #[derive(Debug, Serialize)]
 struct StatusReport {
+    schema_version: u64,
     session: String,
     circuit: String,
     fault: String,
@@ -375,6 +414,9 @@ struct StatusReport {
     shard_count: usize,
     complete_shards: usize,
     table: Option<String>,
+    /// Live rate / ETA estimates from the telemetry logs (absent when
+    /// telemetry is disabled or empty).
+    telemetry: Option<TelemetryStatus>,
 }
 
 /// Assemble the status of a session directory: manifest facts plus a
@@ -478,8 +520,29 @@ fn gather_status(out: &std::path::Path) -> Result<(StatusReport, FaultKind), Str
     }
     workers.sort_by(|a, b| a.worker.cmp(&b.worker));
 
+    // Live rates: telemetry never gates status — a session without logs
+    // (FFR_TELEMETRY=0, or pre-telemetry sessions) just omits the field.
+    let telemetry = crate::stats::CampaignStats::from_session(out)
+        .ok()
+        .and_then(|stats| {
+            let rate = stats.injections_per_sec()?;
+            let eta_secs = progress.as_ref().and_then(|p| {
+                if p.complete || p.completed_points == 0 {
+                    return None;
+                }
+                let per_point = p.injections as f64 / p.completed_points as f64;
+                let remaining = (p.total_points - p.completed_points) as f64;
+                Some((remaining * per_point / rate).round() as u64)
+            });
+            Some(TelemetryStatus {
+                injections_per_sec: (rate * 10.0).round() / 10.0,
+                eta_secs,
+            })
+        });
+
     let table = paths.table_json(manifest.fault);
     let report = StatusReport {
+        schema_version: STATUS_SCHEMA_VERSION,
         session: out.display().to_string(),
         circuit: manifest.circuit.clone(),
         fault: manifest.fault.to_string(),
@@ -492,6 +555,7 @@ fn gather_status(out: &std::path::Path) -> Result<(StatusReport, FaultKind), Str
         shard_count: shards.len(),
         leases,
         table: table.exists().then(|| table.display().to_string()),
+        telemetry,
     };
     Ok((report, manifest.fault))
 }
@@ -532,6 +596,15 @@ fn cmd_status(mut args: Args) -> Result<i32, String> {
         }
         None => println!("  progress:    not started"),
     }
+    if let Some(t) = &report.telemetry {
+        match t.eta_secs {
+            Some(eta) => println!(
+                "  rate:        {:.1} injections/s (ETA ~{eta} s)",
+                t.injections_per_sec
+            ),
+            None => println!("  rate:        {:.1} injections/s", t.injections_per_sec),
+        }
+    }
     if report.shard_count > 0 {
         println!(
             "  shards:      {} ({} complete)",
@@ -556,6 +629,23 @@ fn cmd_status(mut args: Args) -> Result<i32, String> {
     }
     if let Some(table) = &report.table {
         println!("  results:     {table}");
+    }
+    Ok(0)
+}
+
+fn cmd_stats(mut args: Args) -> Result<i32, String> {
+    let dir: PathBuf = match args.value("campaign")? {
+        Some(dir) => dir.into(),
+        // `--out` is accepted as an alias for symmetry with `ffr status`.
+        None => args.value("out")?.ok_or("--campaign is required")?.into(),
+    };
+    let json = args.present("json")?;
+    args.finish()?;
+    let stats = crate::stats::CampaignStats::from_session(&dir).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", stats.to_json());
+    } else {
+        print!("{}", stats.render_text());
     }
     Ok(0)
 }
@@ -605,7 +695,7 @@ fn cmd_worker(mut args: Args) -> Result<i32, String> {
         progress_printer(),
     )
     .map_err(|e| e.to_string())?;
-    eprintln!();
+    end_progress_line();
     let noun = point_noun(summary.fault);
     println!(
         "worker progress: {}/{} {noun} retired, {} injections, {} shard(s) merged",
@@ -810,21 +900,42 @@ fn cmd_gc(mut args: Args) -> Result<i32, String> {
         if complete {
             let shards = work::sweep_shards(&paths.shards_dir()).map_err(|e| e.to_string())?;
             println!("gc: removed {shards} shard checkpoint(s) of the completed campaign");
+            // Telemetry logs are diagnostics, not results: they are only
+            // swept once the campaign is durably complete (never while
+            // workers may still be appending).
+            let logs =
+                crate::stats::sweep_telemetry(&paths.telemetry_dir()).map_err(|e| e.to_string())?;
+            if logs > 0 {
+                println!("gc: removed {logs} telemetry log(s) of the completed campaign");
+            }
         }
     }
     Ok(0)
 }
 
 /// Run the CLI with explicit arguments (exit-code return; testable).
+///
+/// The stderr verbosity flags (`--quiet`, `-v`) are consumed here, before
+/// subcommand parsing, so they work in any position; `FFR_LOG` sets the
+/// default level.
 pub fn main_with_args(args: &[String]) -> i32 {
-    let Some((command, rest)) = args.split_first() else {
+    ffr_obs::init_log_from_env();
+    let mut argv: Vec<String> = Vec::with_capacity(args.len());
+    for arg in args {
+        match arg.as_str() {
+            "--quiet" => ffr_obs::set_log_level(ffr_obs::Level::Error),
+            "-v" | "--verbose" => ffr_obs::set_log_level(ffr_obs::Level::Debug),
+            _ => argv.push(arg.clone()),
+        }
+    }
+    let Some((command, rest)) = argv.split_first() else {
         eprint!("{USAGE}");
         return 64;
     };
     let parsed = match Args::parse(rest) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            ffr_obs::error!("error: {e}");
             return 64;
         }
     };
@@ -833,6 +944,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
         "resume" => cmd_resume(parsed),
         "worker" => cmd_worker(parsed),
         "status" => cmd_status(parsed),
+        "stats" => cmd_stats(parsed),
         "estimate" => cmd_estimate(parsed),
         "report" => cmd_report(parsed),
         "gc" => cmd_gc(parsed),
@@ -845,7 +957,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
     match result {
         Ok(code) => code,
         Err(e) => {
-            eprintln!("error: {e}");
+            ffr_obs::error!("error: {e}");
             64
         }
     }

@@ -275,6 +275,7 @@ pub fn estimate_session(out_dir: &Path, options: &EstimateOptions) -> io::Result
         Err(e) => return Err(e),
     };
 
+    let recorder = ffr_obs::Recorder::for_session(out_dir, "estimate");
     let mut summary = estimate_impl(
         &prepared,
         &manifest.circuit,
@@ -284,10 +285,12 @@ pub fn estimate_session(out_dir: &Path, options: &EstimateOptions) -> io::Result
         &table,
         store.as_ref(),
         options,
+        &recorder,
     )?;
     summary.report.save_json(&paths.estimate_json())?;
     crate::store::atomic_write(&paths.estimate_csv(), &summary.report.to_csv())?;
     summary.json_path = Some(paths.estimate_json());
+    recorder.finish();
     Ok(summary)
 }
 
@@ -337,6 +340,7 @@ pub fn estimate_from_store(
         &table,
         Some(&store),
         options,
+        &ffr_obs::Recorder::disabled(),
     )
 }
 
@@ -351,6 +355,7 @@ fn estimate_impl(
     table: &FdrTable,
     store: Option<&ArtifactStore>,
     options: &EstimateOptions,
+    recorder: &ffr_obs::Recorder,
 ) -> io::Result<EstimateSummary> {
     if options.models.is_empty() {
         return Err(io::Error::other("no models selected"));
@@ -414,7 +419,10 @@ fn estimate_impl(
     let mut best: Option<(f64, ffr_core::ModelCandidate)> = None;
     for &kind in &options.models {
         let grid = kind.small_grid(options.grid_budget);
+        let mut fit_span = recorder.span("estimate.fit");
+        fit_span.field("model", kind.cli_name());
         let search = grid_search(&grid, |c| c.build(), &tx, &ty, &folds);
+        drop(fit_span);
         let scores = search.best_scores;
         model_reports.push(ModelReport {
             model: kind.cli_name().to_string(),

@@ -53,9 +53,17 @@
 //!   unmeasured flip-flop from cached feature matrices, and emits a
 //!   byte-reproducible estimation report — the full paper pipeline off
 //!   cached artifacts, with zero re-simulation.
+//! * **Structured telemetry** ([`stats`], `ffr-obs`) — the runner, lease
+//!   queue, artifact store and session phases record spans, counters and
+//!   latency histograms through a cheap [`ffr_obs::Recorder`] into
+//!   per-worker JSONL logs under `<campaign>/telemetry/` — deliberately
+//!   outside the artifact store and the campaign fingerprint, so
+//!   telemetry never perturbs byte-identical resume/merge; `ffr stats`
+//!   merges the logs into a throughput / latency report.
 //! * **The `ffr` CLI** ([`cli`]) — `run --fault {seu,set}`, `resume`,
-//!   `status`, `report`, `estimate`, `gc` over named circuits ([`spec`]),
-//!   replacing ad-hoc per-experiment binaries for the core campaign flow.
+//!   `status`, `report`, `estimate`, `stats`, `gc` over named circuits
+//!   ([`spec`]), replacing ad-hoc per-experiment binaries for the core
+//!   campaign flow.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +76,7 @@ pub mod estimate;
 pub mod runner;
 pub mod session;
 pub mod spec;
+pub mod stats;
 pub mod store;
 pub mod work;
 
@@ -82,5 +91,6 @@ pub use session::{
     CampaignManifest, RunRequest, RunSummary, SessionPaths, WorkerRequest, WorkerSummary,
 };
 pub use spec::{CircuitSpec, PreparedCircuit};
+pub use stats::{CampaignStats, SpanStats, WorkerStats, STATS_SCHEMA_VERSION};
 pub use store::{ArtifactInfo, ArtifactKind, ArtifactStore, GcReport, StoreKey};
 pub use work::{CursorSource, LeaseQueue, LeaseRecord, WorkSource};

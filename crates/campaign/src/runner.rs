@@ -70,6 +70,9 @@ pub struct RunnerOptions {
     /// Self-cancel after retiring this many points in this invocation
     /// (test/CLI hook for simulating a killed run).
     pub stop_after_points: Option<usize>,
+    /// Telemetry sink for per-chunk spans, injection counters and
+    /// retire-reason counts (disabled by default; never affects results).
+    pub recorder: ffr_obs::Recorder,
 }
 
 impl Default for RunnerOptions {
@@ -79,6 +82,7 @@ impl Default for RunnerOptions {
             checkpoint_every: 32,
             steal_chunk: 4,
             stop_after_points: None,
+            recorder: ffr_obs::Recorder::disabled(),
         }
     }
 }
@@ -260,6 +264,11 @@ where
                 if chunk.is_empty() {
                     return;
                 }
+                // One span per claimed chunk: the `range.run` records are
+                // what `ffr stats` sums into injections/sec. Disabled
+                // recorders skip the clock entirely.
+                let mut range_span = options.recorder.span("range.run");
+                let mut chunk_injections = 0u64;
                 {
                     // Overlay externally persisted progress (another
                     // worker's shard) before touching the chunk.
@@ -302,6 +311,7 @@ where
                         // shard): nothing to compute.
                         continue;
                     }
+                    let injections_before = record.injections_done;
                     let times = sample_injection_times(
                         params.seed,
                         point.stream(),
@@ -321,6 +331,19 @@ where
                         record.absorb(&counts, batch);
                     }
                     record.complete = policy.is_settled(record.failures(), record.injections_done);
+
+                    let injection_delta = (record.injections_done - injections_before) as u64;
+                    chunk_injections += injection_delta;
+                    options.recorder.count("injections", injection_delta);
+                    if record.complete {
+                        // Retire-reason split: did the adaptive policy stop
+                        // early, or did the point exhaust its budget?
+                        if record.injections_done >= policy.max_injections {
+                            options.recorder.count("retire.max_injections", 1);
+                        } else {
+                            options.recorder.count("retire.early_settled", 1);
+                        }
+                    }
 
                     // Publish progress; flush and report on retirement.
                     let mut guard = shared.lock().expect("progress lock poisoned");
@@ -350,6 +373,10 @@ where
                         return;
                     }
                 }
+                range_span.field("points", chunk.len());
+                range_span.field("injections", chunk_injections);
+                range_span.field("retired", chunk_retired);
+                drop(range_span);
                 if chunk_retired {
                     let mut guard = shared.lock().expect("progress lock poisoned");
                     if let Err(e) = source.chunk_done(&chunk, guard.checkpoint) {

@@ -189,6 +189,13 @@ impl SessionPaths {
     pub fn shards_dir(&self) -> PathBuf {
         self.out_dir.join("shards")
     }
+
+    /// The telemetry directory (per-worker JSONL event logs). Explicitly
+    /// outside the artifact store and the campaign fingerprint: telemetry
+    /// never participates in resume/merge determinism or cache keys.
+    pub fn telemetry_dir(&self) -> PathBuf {
+        ffr_obs::telemetry_dir(&self.out_dir)
+    }
 }
 
 /// Parameters for starting a fresh campaign session.
@@ -512,7 +519,8 @@ pub fn run(
     }
     manifest.save(&paths.manifest())?;
 
-    let store = open_store(&manifest.store)?;
+    let recorder = ffr_obs::Recorder::for_session(out_dir, "local");
+    let store = open_store(&manifest.store)?.map(|s| s.with_recorder(recorder.clone()));
 
     // Fast path: final table already in the store and no partial
     // checkpoint to honour.
@@ -532,6 +540,7 @@ pub fn run(
                 )?,
             };
             if served {
+                recorder.finish();
                 return Ok(RunSummary {
                     fault: request.fault,
                     outcome: RunOutcome::Complete,
@@ -548,7 +557,7 @@ pub fn run(
     let checkpoint = checkpoint.unwrap_or_else(|| fresh_checkpoint(&manifest, &prepared));
 
     drive(
-        prepared, manifest, checkpoint, paths, store, options, cancel, progress,
+        prepared, manifest, checkpoint, paths, store, options, cancel, progress, recorder,
     )
 }
 
@@ -600,10 +609,15 @@ pub fn resume(
             "checkpoint fault model does not match the session manifest",
         ));
     }
-    merge_shards(&paths, &mut checkpoint)?;
-    let store = open_store(&manifest.store)?;
+    let recorder = ffr_obs::Recorder::for_session(out_dir, "local");
+    {
+        let mut span = recorder.span("phase.merge");
+        let merged = merge_shards(&paths, &mut checkpoint)?;
+        span.field("shards", merged);
+    }
+    let store = open_store(&manifest.store)?.map(|s| s.with_recorder(recorder.clone()));
     drive(
-        prepared, manifest, checkpoint, paths, store, options, cancel, progress,
+        prepared, manifest, checkpoint, paths, store, options, cancel, progress, recorder,
     )
 }
 
@@ -617,8 +631,14 @@ fn drive(
     options: &RunnerOptions,
     cancel: &CancelToken,
     progress: impl Fn(usize, usize) + Sync,
+    recorder: ffr_obs::Recorder,
 ) -> io::Result<RunSummary> {
-    let (golden, golden_from_cache) = golden_for(&prepared, store.as_ref())?;
+    let (golden, golden_from_cache) = {
+        let mut span = recorder.span("phase.golden");
+        let got = golden_for(&prepared, store.as_ref())?;
+        span.field("cached", got.1);
+        got
+    };
 
     let judge = prepared.judge_spec.build(&golden);
     let campaign = Campaign::with_golden(
@@ -632,17 +652,25 @@ fn drive(
     let checkpoint_path = paths.checkpoint();
     let mut runner_options = options.clone();
     runner_options.checkpoint_every = manifest.checkpoint_every;
-    let outcome = run_resumable(
-        &campaign,
-        &mut checkpoint,
-        &runner_options,
-        cancel,
-        |cp| cp.save(&checkpoint_path),
-        progress,
-    )?;
+    runner_options.recorder = recorder.clone();
+    let outcome = {
+        let mut span = recorder.span("phase.measure");
+        let outcome = run_resumable(
+            &campaign,
+            &mut checkpoint,
+            &runner_options,
+            cancel,
+            |cp| cp.save_recorded(&checkpoint_path, &recorder),
+            progress,
+        )?;
+        span.field("completed_points", checkpoint.completed_points());
+        span.field("total_injections", checkpoint.total_injections());
+        outcome
+    };
 
     let mut table_path = None;
     if outcome == RunOutcome::Complete {
+        let _span = recorder.span("phase.publish");
         table_path = Some(publish_completed(
             &checkpoint,
             prepared.cc.num_ffs(),
@@ -651,6 +679,7 @@ fn drive(
             &store,
         )?);
     }
+    recorder.finish();
 
     Ok(RunSummary {
         fault: manifest.fault,
@@ -915,11 +944,18 @@ pub fn worker(
         Err(e) if e.kind() == io::ErrorKind::NotFound => fresh_checkpoint(&manifest, &prepared),
         Err(e) => return Err(e),
     };
+    let recorder = ffr_obs::Recorder::for_session(out_dir, &request.worker_id);
     let store = match &request.store {
         Some(path) => Some(ArtifactStore::open(path)?),
         None => open_store(&manifest.store)?,
+    }
+    .map(|s| s.with_recorder(recorder.clone()));
+    let (golden, golden_from_cache) = {
+        let mut span = recorder.span("phase.golden");
+        let got = golden_for(&prepared, store.as_ref())?;
+        span.field("cached", got.1);
+        got
     };
-    let (golden, golden_from_cache) = golden_for(&prepared, store.as_ref())?;
     let judge = prepared.judge_spec.build(&golden);
     let campaign = Campaign::with_golden(
         &prepared.cc,
@@ -938,10 +974,12 @@ pub fn worker(
         request.lease_ttl,
         request.poll,
         cancel.clone(),
-    )?;
+    )?
+    .with_recorder(recorder.clone());
 
     let mut runner_options = options.clone();
     runner_options.checkpoint_every = manifest.checkpoint_every;
+    runner_options.recorder = recorder.clone();
     let stop_heartbeat = AtomicBool::new(false);
     let run_result = std::thread::scope(|scope| {
         let heartbeat = scope.spawn(|| {
@@ -957,6 +995,7 @@ pub fn worker(
                 }
             }
         });
+        let mut span = recorder.span("phase.measure");
         let result = run_with_source(
             &campaign,
             &mut checkpoint,
@@ -966,6 +1005,8 @@ pub fn worker(
             |cp| queue.flush_held(cp),
             progress,
         );
+        span.field("completed_points", checkpoint.completed_points());
+        drop(span);
         stop_heartbeat.store(true, Ordering::Relaxed);
         heartbeat.join().expect("heartbeat thread");
         result
@@ -976,11 +1017,17 @@ pub fn worker(
     queue.release_held();
     let outcome = run_result?;
 
-    let merged_shards = merge_shards(&paths, &mut checkpoint)?;
+    let merged_shards = {
+        let mut span = recorder.span("phase.merge");
+        let merged = merge_shards(&paths, &mut checkpoint)?;
+        span.field("shards", merged);
+        merged
+    };
     let campaign_complete = checkpoint.is_complete();
     let mut table_path = None;
     if campaign_complete {
-        checkpoint.save(&paths.checkpoint())?;
+        let _span = recorder.span("phase.publish");
+        checkpoint.save_recorded(&paths.checkpoint(), &recorder)?;
         table_path = Some(publish_completed(
             &checkpoint,
             prepared.cc.num_ffs(),
@@ -989,6 +1036,7 @@ pub fn worker(
             &store,
         )?);
     }
+    recorder.finish();
     Ok(WorkerSummary {
         fault: manifest.fault,
         outcome,

@@ -286,6 +286,7 @@ pub struct GcReport {
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     root: PathBuf,
+    recorder: ffr_obs::Recorder,
 }
 
 impl ArtifactStore {
@@ -297,7 +298,19 @@ impl ArtifactStore {
     pub fn open(root: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(ArtifactStore { root })
+        Ok(ArtifactStore {
+            root,
+            recorder: ffr_obs::Recorder::disabled(),
+        })
+    }
+
+    /// Attach a telemetry recorder: subsequent [`ArtifactStore::put`] /
+    /// [`ArtifactStore::get`] calls record latency histograms and byte
+    /// counters. Telemetry lives outside the store directory, so
+    /// recording never perturbs artifact contents or keys.
+    pub fn with_recorder(mut self, recorder: ffr_obs::Recorder) -> ArtifactStore {
+        self.recorder = recorder;
+        self
     }
 
     /// The store's root directory.
@@ -325,11 +338,16 @@ impl ArtifactStore {
         key: &StoreKey,
         payload: &T,
     ) -> io::Result<PathBuf> {
+        let t0 = std::time::Instant::now();
         let envelope = if kind.compressed() {
             let payload_json =
                 serde_json::to_string(&ValueWrap(&payload.to_value())).expect("payload serializes");
             let packed =
                 crate::codec::base64_encode(&crate::codec::deflate(payload_json.as_bytes()));
+            self.recorder
+                .count("store.compress_in_bytes", payload_json.len() as u64);
+            self.recorder
+                .count("store.compress_out_bytes", packed.len() as u64);
             Value::Object(vec![
                 (
                     "format_version".into(),
@@ -352,6 +370,20 @@ impl ArtifactStore {
         let path = self.path_of(kind, key);
         std::fs::create_dir_all(path.parent().expect("artifact path has a parent"))?;
         atomic_write(&path, &text)?;
+        if self.recorder.enabled() {
+            self.recorder.count("store.puts", 1);
+            self.recorder.count("store.put_bytes", text.len() as u64);
+            self.recorder
+                .observe_us("store.put_us", t0.elapsed().as_micros() as u64);
+            self.recorder.event(
+                ffr_obs::Level::Debug,
+                "store.put",
+                &[
+                    ("kind", kind.dir_name().into()),
+                    ("bytes", text.len().into()),
+                ],
+            );
+        }
         Ok(path)
     }
 
@@ -362,12 +394,31 @@ impl ArtifactStore {
     ///
     /// Propagates I/O failures other than "not found".
     pub fn get<T: Deserialize>(&self, kind: ArtifactKind, key: &StoreKey) -> io::Result<Option<T>> {
+        let t0 = std::time::Instant::now();
+        let result = self.get_impl(kind, key);
+        if self.recorder.enabled() {
+            self.recorder.count("store.gets", 1);
+            if matches!(&result, Ok(Some(_))) {
+                self.recorder.count("store.hits", 1);
+            }
+            self.recorder
+                .observe_us("store.get_us", t0.elapsed().as_micros() as u64);
+        }
+        result
+    }
+
+    fn get_impl<T: Deserialize>(
+        &self,
+        kind: ArtifactKind,
+        key: &StoreKey,
+    ) -> io::Result<Option<T>> {
         let path = self.path_of(kind, key);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e),
         };
+        self.recorder.count("store.get_bytes", text.len() as u64);
         let Ok(envelope) = serde_json::parse_value_complete(&text) else {
             return Ok(None);
         };

@@ -367,6 +367,7 @@ pub struct LeaseQueue {
     poll: Duration,
     cancel: CancelToken,
     state: Mutex<QueueState>,
+    recorder: ffr_obs::Recorder,
 }
 
 #[derive(Default)]
@@ -420,7 +421,16 @@ impl LeaseQueue {
             poll,
             cancel,
             state: Mutex::new(QueueState::default()),
+            recorder: ffr_obs::Recorder::disabled(),
         })
+    }
+
+    /// Attach a telemetry recorder: lease claims, reclaims, heartbeats,
+    /// releases and shard-flush latencies are recorded as events.
+    /// Telemetry never affects lease contents or claiming decisions.
+    pub fn with_recorder(mut self, recorder: ffr_obs::Recorder) -> LeaseQueue {
+        self.recorder = recorder;
+        self
     }
 
     /// The lease ranges of this campaign.
@@ -522,6 +532,30 @@ impl LeaseQueue {
             serde_json::to_string_pretty(&self.fresh_record(index)).map_err(io::Error::other)?;
         if create_exclusive(&path, &json)? {
             state.held.push(index);
+            self.recorder.event(
+                ffr_obs::Level::Debug,
+                if reclaim {
+                    "lease.reclaim"
+                } else {
+                    "lease.claim"
+                },
+                &[
+                    ("range_start", self.ranges[index].start.into()),
+                    ("range_end", self.ranges[index].end.into()),
+                    (
+                        "queue_depth",
+                        (self.ranges.len() - state.complete.len()).into(),
+                    ),
+                ],
+            );
+            self.recorder.count(
+                if reclaim {
+                    "lease.reclaims"
+                } else {
+                    "lease.claims"
+                },
+                1,
+            );
             return Ok(true);
         }
         Ok(false)
@@ -543,6 +577,15 @@ impl LeaseQueue {
             let record = self.fresh_record(index);
             let json = serde_json::to_string_pretty(&record).map_err(io::Error::other)?;
             atomic_write(&self.lease_path(index), &json)?;
+        }
+        if !state.held.is_empty() {
+            self.recorder.event(
+                ffr_obs::Level::Debug,
+                "lease.heartbeat",
+                &[("leases", state.held.len().into())],
+            );
+            self.recorder
+                .count("lease.heartbeats", state.held.len() as u64);
         }
         Ok(())
     }
@@ -576,9 +619,13 @@ impl LeaseQueue {
             if !state.hydrated.contains(&index) {
                 continue;
             }
+            let t0 = std::time::Instant::now();
             checkpoint
                 .shard(&self.worker, self.ranges[index].clone())
                 .save(&self.shard_path(index))?;
+            self.recorder
+                .observe_us("shard.flush_us", t0.elapsed().as_micros() as u64);
+            self.recorder.count("shard.flushes", 1);
         }
         Ok(())
     }
@@ -729,11 +776,27 @@ impl WorkSource for LeaseQueue {
             .expect("completed chunk matches a lease range");
         let shard = checkpoint.shard(&self.worker, self.ranges[index].clone());
         let mut state = self.state.lock().expect("queue lock");
+        let t0 = std::time::Instant::now();
         shard.save(&self.shard_path(index))?;
+        self.recorder
+            .observe_us("shard.flush_us", t0.elapsed().as_micros() as u64);
+        self.recorder.count("shard.flushes", 1);
         let _ = std::fs::remove_file(self.lease_path(index));
         state.held.retain(|&i| i != index);
         state.hydrated.remove(&index);
         state.complete.insert(index);
+        self.recorder.event(
+            ffr_obs::Level::Debug,
+            "lease.release",
+            &[
+                ("range_start", self.ranges[index].start.into()),
+                ("range_end", self.ranges[index].end.into()),
+                (
+                    "queue_depth",
+                    (self.ranges.len() - state.complete.len()).into(),
+                ),
+            ],
+        );
         Ok(())
     }
 
