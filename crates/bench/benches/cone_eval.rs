@@ -1,0 +1,62 @@
+//! Criterion bench: cone-restricted vs full-circuit evaluation.
+//!
+//! The campaign inner loop evaluates only the injection point's fan-out
+//! cone ([`ffr_sim::Cone`]), broadcasting golden boundary values each
+//! cycle instead of replaying the stimulus. This bench pins the win:
+//! `full` is the whole-circuit eval+tick floor, the `cone_*` cases run
+//! the cone loop (load_boundary + eval_cone + tick_cone) for the largest
+//! flip-flop cone, a median one and the smallest — spanning the best and
+//! worst case an SEU campaign sees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffr_circuits::{Mac10ge, Mac10geConfig};
+use ffr_netlist::FfId;
+use ffr_sim::{CompiledCircuit, SimState};
+
+fn bench_cone_vs_full(c: &mut Criterion) {
+    let mac = Mac10ge::build(Mac10geConfig::small());
+    let cc = CompiledCircuit::compile(mac.into_netlist()).unwrap();
+
+    // Rank every SEU cone by op count to pick representative sizes.
+    let mut by_size: Vec<usize> = (0..cc.num_ffs()).collect();
+    by_size.sort_by_key(|&i| cc.ff_cone(FfId::from_index(i)).num_ops());
+    let largest = *by_size.last().unwrap();
+    let median = by_size[by_size.len() / 2];
+    let smallest = by_size[0];
+
+    let mut group = c.benchmark_group("cone_eval");
+    group.throughput(Throughput::Elements(cc.num_ops() as u64));
+
+    group.bench_function(BenchmarkId::from_parameter("full"), |b| {
+        let mut state = SimState::new(&cc);
+        b.iter(|| {
+            state.eval(&cc);
+            state.tick(&cc);
+            std::hint::black_box(state.cycle())
+        });
+    });
+
+    let cases = [
+        ("cone_largest_ff", largest),
+        ("cone_median_ff", median),
+        ("cone_smallest_ff", smallest),
+    ];
+    for (name, ff) in cases {
+        // Compiled once, like the campaign engine does per point.
+        let cone = cc.ff_cone(FfId::from_index(ff));
+        let boundary_row = vec![0u64; cc.netlist().num_nets().div_ceil(64)];
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut state = SimState::new(&cc);
+            b.iter(|| {
+                state.load_boundary(&cone, &boundary_row);
+                state.eval_cone(&cone);
+                state.tick_cone(&cone);
+                std::hint::black_box(state.cycle())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cone_vs_full);
+criterion_main!(benches);

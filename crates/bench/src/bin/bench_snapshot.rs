@@ -30,6 +30,7 @@ use ffr_campaign::{
     session, AdaptivePolicy, CampaignStats, CancelToken, RunRequest, RunnerOptions,
 };
 use ffr_circuits::{Mac10ge, Mac10geConfig};
+use ffr_netlist::FfId;
 use ffr_sim::{CompiledCircuit, SimState};
 use serde::{Serialize, Value};
 use std::path::PathBuf;
@@ -37,7 +38,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 /// Snapshot schema version (bumped on incompatible shape changes).
-const SCHEMA_VERSION: u64 = 1;
+/// v2: added `cone_eval_mops_per_sec` to `BENCH_sim.json`.
+const SCHEMA_VERSION: u64 = 2;
 
 /// Default slowdown tolerance of `--check` (fraction of the committed
 /// value).
@@ -118,9 +120,32 @@ fn sim_metrics() -> Vec<(String, f64)> {
         ops / t0.elapsed().as_secs_f64() / 1e6
     });
 
+    // Cone-restricted campaign inner loop on the largest SEU cone — the
+    // worst case the cone path ever evaluates (matching the `cone_eval`
+    // bench). Throughput is counted in *cone* ops, so the number is
+    // comparable to the full-eval metrics per op actually executed.
+    let largest = (0..cc.num_ffs())
+        .max_by_key(|&i| cc.ff_cone(FfId::from_index(i)).num_ops())
+        .expect("MAC has flip-flops");
+    let cone = cc.ff_cone(FfId::from_index(largest));
+    let cone_ops = cone.num_ops() as f64 * cycles as f64;
+    let boundary_row = vec![0u64; cc.netlist().num_nets().div_ceil(64)];
+    let cone_eval = measure(|| {
+        let mut state = SimState::new(&cc);
+        let t0 = Instant::now();
+        for _ in 0..cycles {
+            state.load_boundary(&cone, &boundary_row);
+            state.eval_cone(&cone);
+            state.tick_cone(&cone);
+        }
+        std::hint::black_box(state.cycle());
+        cone_ops / t0.elapsed().as_secs_f64() / 1e6
+    });
+
     vec![
         ("sim_eval_mops_per_sec".to_string(), plain),
         ("forced_eval_mops_per_sec".to_string(), forced),
+        ("cone_eval_mops_per_sec".to_string(), cone_eval),
     ]
 }
 

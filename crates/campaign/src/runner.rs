@@ -250,138 +250,167 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                if cancel.is_cancelled() {
-                    return;
-                }
-                let chunk = match source.claim() {
-                    Ok(c) => c,
-                    Err(e) => {
-                        fail(&mut shared.lock().expect("progress lock poisoned"), e);
-                        return;
-                    }
-                };
-                if chunk.is_empty() {
-                    return;
-                }
-                // One span per claimed chunk: the `range.run` records are
-                // what `ffr stats` sums into injections/sec. Disabled
-                // recorders skip the clock entirely.
-                let mut range_span = options.recorder.span("range.run");
-                let mut chunk_injections = 0u64;
-                {
-                    // Overlay externally persisted progress (another
-                    // worker's shard) before touching the chunk.
-                    let mut guard = shared.lock().expect("progress lock poisoned");
-                    if guard.io_error.is_some() {
-                        return;
-                    }
-                    let complete_in = |cp: &CampaignCheckpoint| {
-                        chunk.iter().filter(|&&i| cp.points[i].complete).count()
-                    };
-                    let before = complete_in(guard.checkpoint);
-                    if let Err(e) = source.hydrate(&chunk, guard.checkpoint) {
-                        fail(&mut guard, e);
-                        return;
-                    }
-                    guard.completed += complete_in(guard.checkpoint) - before;
-                }
-                let mut chunk_retired = true;
-                for &point_index in &chunk {
+            scope.spawn(|| {
+                // Simulation buffers are allocated once per worker thread
+                // and reused across every point and batch it processes.
+                let mut scratch = campaign.point_scratch();
+                loop {
                     if cancel.is_cancelled() {
-                        chunk_retired = false;
-                        break;
+                        return;
                     }
-                    // Snapshot this point's progress. Only one worker of
-                    // this process ever touches a given point (the source
-                    // hands out disjoint chunks), so the snapshot cannot
-                    // go stale.
-                    let (mut record, point): (PointProgress, _) = {
-                        let guard = shared.lock().expect("progress lock poisoned");
+                    let chunk = match source.claim() {
+                        Ok(c) => c,
+                        Err(e) => {
+                            fail(&mut shared.lock().expect("progress lock poisoned"), e);
+                            return;
+                        }
+                    };
+                    if chunk.is_empty() {
+                        return;
+                    }
+                    // One span per claimed chunk: the `range.run` records are
+                    // what `ffr stats` sums into injections/sec. Disabled
+                    // recorders skip the clock entirely.
+                    let mut range_span = options.recorder.span("range.run");
+                    let mut chunk_injections = 0u64;
+                    {
+                        // Overlay externally persisted progress (another
+                        // worker's shard) before touching the chunk.
+                        let mut guard = shared.lock().expect("progress lock poisoned");
                         if guard.io_error.is_some() {
                             return;
                         }
-                        (
-                            guard.checkpoint.points[point_index].clone(),
-                            guard.checkpoint.point(point_index),
-                        )
-                    };
-                    if record.complete {
-                        // Already retired (hydrated from another worker's
-                        // shard): nothing to compute.
-                        continue;
+                        let complete_in = |cp: &CampaignCheckpoint| {
+                            chunk.iter().filter(|&&i| cp.points[i].complete).count()
+                        };
+                        let before = complete_in(guard.checkpoint);
+                        if let Err(e) = source.hydrate(&chunk, guard.checkpoint) {
+                            fail(&mut guard, e);
+                            return;
+                        }
+                        guard.completed += complete_in(guard.checkpoint) - before;
                     }
-                    let injections_before = record.injections_done;
-                    let times = sample_injection_times(
-                        params.seed,
-                        point.stream(),
-                        params.window_start..params.window_end,
-                        policy.max_injections,
-                    );
-                    while !policy.is_settled(record.failures(), record.injections_done) {
+                    let mut chunk_retired = true;
+                    for &point_index in &chunk {
                         if cancel.is_cancelled() {
+                            chunk_retired = false;
                             break;
                         }
-                        let batch = policy.next_batch(record.injections_done);
-                        if batch == 0 {
-                            break;
+                        // Snapshot this point's progress. Only one worker of
+                        // this process ever touches a given point (the source
+                        // hands out disjoint chunks), so the snapshot cannot
+                        // go stale.
+                        let (mut record, point): (PointProgress, _) = {
+                            let guard = shared.lock().expect("progress lock poisoned");
+                            if guard.io_error.is_some() {
+                                return;
+                            }
+                            (
+                                guard.checkpoint.points[point_index].clone(),
+                                guard.checkpoint.point(point_index),
+                            )
+                        };
+                        if record.complete {
+                            // Already retired (hydrated from another worker's
+                            // shard): nothing to compute.
+                            continue;
                         }
-                        let slice = &times[record.injections_done..record.injections_done + batch];
-                        let counts = campaign.run_point_times(point, slice, &config);
-                        record.absorb(&counts, batch);
-                    }
-                    record.complete = policy.is_settled(record.failures(), record.injections_done);
+                        let injections_before = record.injections_done;
+                        let times = sample_injection_times(
+                            params.seed,
+                            point.stream(),
+                            params.window_start..params.window_end,
+                            policy.max_injections,
+                        );
+                        // Fan-out cone compiled once per point; every batch of
+                        // this point reuses it (and the thread's scratch).
+                        let mut point_runner = campaign.point_runner(point);
+                        options.recorder.count("cone.points", 1);
+                        options
+                            .recorder
+                            .count("cone.ops", point_runner.cone_ops() as u64);
+                        options
+                            .recorder
+                            .count("cone.ffs", point_runner.cone_ffs() as u64);
+                        options.recorder.count(
+                            "cone.boundary_nets",
+                            point_runner.cone_boundary_nets() as u64,
+                        );
+                        while !policy.is_settled(record.failures(), record.injections_done) {
+                            if cancel.is_cancelled() {
+                                break;
+                            }
+                            let batch = policy.next_batch(record.injections_done);
+                            if batch == 0 {
+                                break;
+                            }
+                            let slice =
+                                &times[record.injections_done..record.injections_done + batch];
+                            let counts = campaign.run_point_times_with(
+                                &mut point_runner,
+                                &mut scratch,
+                                slice,
+                                &config,
+                            );
+                            record.absorb(&counts, batch);
+                        }
+                        options
+                            .recorder
+                            .count("cone.cycles_saved", point_runner.cycles_saved());
+                        record.complete =
+                            policy.is_settled(record.failures(), record.injections_done);
 
-                    let injection_delta = (record.injections_done - injections_before) as u64;
-                    chunk_injections += injection_delta;
-                    options.recorder.count("injections", injection_delta);
-                    if record.complete {
-                        // Retire-reason split: did the adaptive policy stop
-                        // early, or did the point exhaust its budget?
-                        if record.injections_done >= policy.max_injections {
-                            options.recorder.count("retire.max_injections", 1);
-                        } else {
-                            options.recorder.count("retire.early_settled", 1);
-                        }
-                    }
-
-                    // Publish progress; flush and report on retirement.
-                    let mut guard = shared.lock().expect("progress lock poisoned");
-                    let retired = record.complete;
-                    guard.checkpoint.points[point_index] = record;
-                    if retired {
-                        guard.retired_since_flush += 1;
-                        guard.retired_this_run += 1;
-                        guard.completed += 1;
-                        progress(guard.completed, total);
-                        if guard.retired_since_flush >= options.checkpoint_every {
-                            guard.flush();
-                        }
-                        if let Some(limit) = options.stop_after_points {
-                            if guard.retired_this_run >= limit {
-                                cancel.cancel();
+                        let injection_delta = (record.injections_done - injections_before) as u64;
+                        chunk_injections += injection_delta;
+                        options.recorder.count("injections", injection_delta);
+                        if record.complete {
+                            // Retire-reason split: did the adaptive policy stop
+                            // early, or did the point exhaust its budget?
+                            if record.injections_done >= policy.max_injections {
+                                options.recorder.count("retire.max_injections", 1);
+                            } else {
+                                options.recorder.count("retire.early_settled", 1);
                             }
                         }
-                    } else {
-                        chunk_retired = false;
-                        // Partial progress only happens on cancellation;
-                        // make sure it reaches disk.
-                        guard.flush();
+
+                        // Publish progress; flush and report on retirement.
+                        let mut guard = shared.lock().expect("progress lock poisoned");
+                        let retired = record.complete;
+                        guard.checkpoint.points[point_index] = record;
+                        if retired {
+                            guard.retired_since_flush += 1;
+                            guard.retired_this_run += 1;
+                            guard.completed += 1;
+                            progress(guard.completed, total);
+                            if guard.retired_since_flush >= options.checkpoint_every {
+                                guard.flush();
+                            }
+                            if let Some(limit) = options.stop_after_points {
+                                if guard.retired_this_run >= limit {
+                                    cancel.cancel();
+                                }
+                            }
+                        } else {
+                            chunk_retired = false;
+                            // Partial progress only happens on cancellation;
+                            // make sure it reaches disk.
+                            guard.flush();
+                        }
+                        if let Some(e) = guard.io_error.take() {
+                            fail(&mut guard, e);
+                            return;
+                        }
                     }
-                    if let Some(e) = guard.io_error.take() {
-                        fail(&mut guard, e);
-                        return;
-                    }
-                }
-                range_span.field("points", chunk.len());
-                range_span.field("injections", chunk_injections);
-                range_span.field("retired", chunk_retired);
-                drop(range_span);
-                if chunk_retired {
-                    let mut guard = shared.lock().expect("progress lock poisoned");
-                    if let Err(e) = source.chunk_done(&chunk, guard.checkpoint) {
-                        fail(&mut guard, e);
-                        return;
+                    range_span.field("points", chunk.len());
+                    range_span.field("injections", chunk_injections);
+                    range_span.field("retired", chunk_retired);
+                    drop(range_span);
+                    if chunk_retired {
+                        let mut guard = shared.lock().expect("progress lock poisoned");
+                        if let Err(e) = source.chunk_done(&chunk, guard.checkpoint) {
+                            fail(&mut guard, e);
+                            return;
+                        }
                     }
                 }
             });

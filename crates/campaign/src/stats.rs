@@ -457,6 +457,24 @@ impl CampaignStats {
             let _ = writeln!(out, "  overall: {rate:.1} injections/worker-second");
         }
 
+        // Cone-restriction effectiveness, derived from the cone.* counters
+        // the runner records once per compiled point.
+        if let Some(&points) = self.counters.get("cone.points") {
+            if points > 0 {
+                let avg = |name: &str| {
+                    self.counters.get(name).copied().unwrap_or(0) as f64 / points as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "\ncone restriction ({points} point(s)):\n  avg cone: {:.1} ops, {:.1} ffs, {:.1} boundary nets; {} cycles skipped by early exit",
+                    avg("cone.ops"),
+                    avg("cone.ffs"),
+                    avg("cone.boundary_nets"),
+                    self.counters.get("cone.cycles_saved").copied().unwrap_or(0),
+                );
+            }
+        }
+
         out.push_str("\ncounters (merged):\n");
         for (name, value) in &self.counters {
             let _ = writeln!(out, "  {name:<28} {value:>12}");

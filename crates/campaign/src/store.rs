@@ -178,6 +178,9 @@ impl fmt::Display for StoreKey {
 pub enum ArtifactKind {
     /// A serialized [`ffr_sim::GoldenRun`].
     GoldenRun,
+    /// A serialized [`ffr_sim::NetJournal`] (golden boundary-net values
+    /// for cone-restricted fault simulation).
+    NetJournal,
     /// A serialized [`ffr_fault::FdrTable`].
     FdrTable,
     /// A serialized [`ffr_fault::SetDeratingTable`].
@@ -194,8 +197,9 @@ pub enum ArtifactKind {
 
 impl ArtifactKind {
     /// All kinds, for directory scans.
-    pub const ALL: [ArtifactKind; 7] = [
+    pub const ALL: [ArtifactKind; 8] = [
         ArtifactKind::GoldenRun,
+        ArtifactKind::NetJournal,
         ArtifactKind::FdrTable,
         ArtifactKind::SetTable,
         ArtifactKind::Features,
@@ -209,15 +213,17 @@ impl ArtifactKind {
     /// Golden runs dominate store size (the paper-scale MAC's output
     /// trace + state journal serializes to multi-MB JSON) and compress
     /// severalfold; the small metadata-heavy kinds stay as plain v1 JSON,
-    /// which is grep-able and diff-able.
+    /// which is grep-able and diff-able. Net journals are denser still
+    /// (one word per net per cycle) and compress the same way.
     pub fn compressed(self) -> bool {
-        matches!(self, ArtifactKind::GoldenRun)
+        matches!(self, ArtifactKind::GoldenRun | ArtifactKind::NetJournal)
     }
 
     /// Directory name of the kind.
     pub fn dir_name(self) -> &'static str {
         match self {
             ArtifactKind::GoldenRun => "golden-run",
+            ArtifactKind::NetJournal => "net-journal",
             ArtifactKind::FdrTable => "fdr-table",
             ArtifactKind::SetTable => "set-table",
             ArtifactKind::Features => "features",
@@ -594,6 +600,50 @@ mod tests {
         assert!(store.contains(ArtifactKind::FdrTable, &key()));
         let loaded: Option<Vec<u64>> = store.get(ArtifactKind::FdrTable, &key()).unwrap();
         assert_eq!(loaded, Some(data));
+    }
+
+    #[test]
+    fn net_journal_round_trips_compressed() {
+        use ffr_sim::{CompiledCircuit, InputFrame, NetJournal, Stimulus};
+
+        struct Count;
+        impl Stimulus for Count {
+            fn num_cycles(&self) -> u64 {
+                17
+            }
+            fn drive(&self, cycle: u64, frame: &mut InputFrame) {
+                frame.set(0, cycle & 1 == 1);
+                frame.set(1, cycle & 2 == 2);
+            }
+        }
+
+        let mut b = ffr_netlist::NetlistBuilder::new("journal_store");
+        let a = b.input("a", 2);
+        let r = b.reg("r", 2);
+        let x = b.xor(&r.q(), &a);
+        b.connect(&r, &x).unwrap();
+        b.output("q", &r.q());
+        let cc = CompiledCircuit::compile(b.finish().unwrap()).unwrap();
+
+        let journal = NetJournal::capture(&cc, &Count);
+        let store = tmp_store("net_journal");
+        let path = store
+            .put(ArtifactKind::NetJournal, &key(), &journal)
+            .unwrap();
+        // Written with the deflate v2 envelope: the payload is compressed
+        // and base64-embedded, not inlined as plain JSON.
+        assert!(ArtifactKind::NetJournal.compressed());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains(&format!("\"format_version\":{FORMAT_VERSION_COMPRESSED}")),
+            "expected a v2 envelope"
+        );
+        assert!(
+            !text.contains("words_per_cycle"),
+            "payload should not appear as plain JSON"
+        );
+        let loaded: Option<NetJournal> = store.get(ArtifactKind::NetJournal, &key()).unwrap();
+        assert_eq!(loaded, Some(journal));
     }
 
     #[test]

@@ -14,10 +14,12 @@ use crate::sampling::sample_injection_times;
 use crate::set::{NetSetResult, SetDeratingTable};
 use ffr_netlist::{FfId, NetId};
 use ffr_sim::{
-    CompiledCircuit, FaultSite, GoldenRun, InputFrame, LaneView, OutputTrace, Stimulus, WatchList,
+    CompiledCircuit, Cone, FaultSite, GoldenRun, InputFrame, LaneView, NetJournal, OutputTrace,
+    SimState, Stimulus, WatchList,
 };
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Configuration of a statistical SEU campaign.
 #[derive(Debug, Clone)]
@@ -35,6 +37,11 @@ pub struct CampaignConfig {
     /// golden state (sound, pure optimisation). Disable only for
     /// measurement ablations.
     pub early_exit: bool,
+    /// Evaluate only the injection point's fan-out cone per cycle,
+    /// serving boundary nets and out-of-cone watched outputs from golden
+    /// data (sound, pure optimisation — produces bit-identical traces
+    /// and tallies). Disable only for measurement ablations.
+    pub cone: bool,
 }
 
 impl CampaignConfig {
@@ -46,6 +53,7 @@ impl CampaignConfig {
             window,
             seed: 0,
             early_exit: true,
+            cone: true,
         }
     }
 
@@ -60,6 +68,12 @@ impl CampaignConfig {
         self.seed = seed;
         self
     }
+
+    /// Builder-style override of cone restriction (ablations only).
+    pub fn with_cone(mut self, cone: bool) -> CampaignConfig {
+        self.cone = cone;
+        self
+    }
 }
 
 /// An [`InjectionPoint`] resolved against the compiled circuit: SET
@@ -69,6 +83,58 @@ impl CampaignConfig {
 enum CompiledPoint {
     Seu(FfId),
     Set(FaultSite),
+}
+
+/// One injection point compiled for repeated batch simulation: the
+/// resolved [`InjectionPoint`], its fan-out [`Cone`] and the per-watch
+/// in-cone classification. Built once per point
+/// ([`Campaign::point_runner`]) and reused across every policy batch, so
+/// the cone closure is never recomputed inside the injection loop.
+pub struct PointRunner {
+    point: CompiledPoint,
+    cone: Cone,
+    /// Per watch entry: can this output ever deviate from golden? `false`
+    /// entries are copied from the golden trace each cycle.
+    watch_in_cone: Vec<bool>,
+    cycles_saved: u64,
+}
+
+impl PointRunner {
+    /// Number of combinational ops in the point's fan-out cone.
+    pub fn cone_ops(&self) -> usize {
+        self.cone.num_ops()
+    }
+
+    /// Number of flip-flops in the point's fan-out cone.
+    pub fn cone_ffs(&self) -> usize {
+        self.cone.num_ffs()
+    }
+
+    /// Number of boundary nets broadcast per simulated cycle.
+    pub fn cone_boundary_nets(&self) -> usize {
+        self.cone.num_boundary_nets()
+    }
+
+    /// Total cycles skipped by the convergence early-exit across every
+    /// batch this runner has simulated.
+    pub fn cycles_saved(&self) -> u64 {
+        self.cycles_saved
+    }
+}
+
+/// Reusable per-thread simulation buffers: state, input frame, output
+/// trace, convergence bookkeeping and the injection schedule. One scratch
+/// ([`Campaign::point_scratch`]) serves any number of points and batches
+/// — the batch loop allocates nothing.
+pub struct PointScratch {
+    state: SimState,
+    frame: InputFrame,
+    trace: OutputTrace,
+    converged_at: Vec<Option<u64>>,
+    /// Per-batch `(cycle, lane mask)` schedule, sorted by cycle with
+    /// duplicate cycles merged — replaces a per-cycle rescan of every
+    /// lane's injection time.
+    schedule: Vec<(u64, u64)>,
 }
 
 /// A prepared fault-injection campaign: compiled circuit, stimulus, watch
@@ -83,6 +149,11 @@ pub struct Campaign<'a, S, J> {
     watch: &'a WatchList,
     judge: &'a J,
     golden: GoldenRun,
+    /// Golden per-cycle all-nets journal, captured lazily on the first
+    /// cone-restricted batch (one extra full-speed golden replay,
+    /// amortised over the whole campaign) and shared by every worker
+    /// thread.
+    net_journal: OnceLock<NetJournal>,
 }
 
 impl<'a, S, J> Campaign<'a, S, J>
@@ -130,12 +201,20 @@ where
             watch,
             judge,
             golden,
+            net_journal: OnceLock::new(),
         }
     }
 
     /// The golden reference run (reused for feature extraction).
     pub fn golden(&self) -> &GoldenRun {
         &self.golden
+    }
+
+    /// The golden all-nets journal backing cone-restricted simulation,
+    /// capturing it on first use.
+    pub fn net_journal(&self) -> &NetJournal {
+        self.net_journal
+            .get_or_init(|| NetJournal::capture(self.cc, &self.stimulus))
     }
 
     /// The compiled circuit under test.
@@ -204,13 +283,71 @@ where
         times: &[u64],
         config: &CampaignConfig,
     ) -> [usize; FailureClass::ALL.len()] {
-        let compiled = self.compile_point(point);
+        let mut runner = self.point_runner(point);
+        let mut scratch = self.point_scratch();
+        self.run_point_times_with(&mut runner, &mut scratch, times, config)
+    }
+
+    /// Compile an injection point for repeated batch simulation: resolve
+    /// the target, extract its fan-out cone and classify the watched
+    /// outputs as in-cone or provably golden.
+    pub fn point_runner(&self, point: InjectionPoint) -> PointRunner {
+        let (compiled, cone) = match point {
+            InjectionPoint::Seu(ff) => (CompiledPoint::Seu(ff), self.cc.ff_cone(ff)),
+            InjectionPoint::Set(net) => (
+                CompiledPoint::Set(self.cc.fault_site(net)),
+                self.cc.net_cone(net),
+            ),
+        };
+        let watch_in_cone = self
+            .watch
+            .indices()
+            .iter()
+            .map(|&po| cone.may_differ(self.cc.output_net(po)))
+            .collect();
+        PointRunner {
+            point: compiled,
+            cone,
+            watch_in_cone,
+            cycles_saved: 0,
+        }
+    }
+
+    /// Allocate the reusable per-thread simulation buffers once; hand the
+    /// same scratch to every [`Campaign::run_point_times_with`] call on
+    /// the thread.
+    pub fn point_scratch(&self) -> PointScratch {
+        PointScratch {
+            state: SimState::new(self.cc),
+            frame: InputFrame::new(self.cc.num_inputs()),
+            trace: OutputTrace::new(0, 0, 0),
+            converged_at: Vec::new(),
+            schedule: Vec::new(),
+        }
+    }
+
+    /// [`Campaign::run_point_times`] against a pre-compiled
+    /// [`PointRunner`] and reusable [`PointScratch`] — the zero-allocation
+    /// resumable unit of campaign work. Tallies are identical to the
+    /// one-shot entry point.
+    pub fn run_point_times_with(
+        &self,
+        runner: &mut PointRunner,
+        scratch: &mut PointScratch,
+        times: &[u64],
+        config: &CampaignConfig,
+    ) -> [usize; FailureClass::ALL.len()] {
         let mut class_counts = [0usize; FailureClass::ALL.len()];
         for chunk in times.chunks(64) {
-            let (trace, converged_at) = self.simulate_batch(compiled, chunk, config);
+            self.simulate_batch_into(runner, scratch, chunk, config);
             let golden_view = LaneView::golden(&self.golden.trace);
             for (lane, &inject_cycle) in chunk.iter().enumerate() {
-                let view = LaneView::faulty(&self.golden.trace, &trace, lane, converged_at[lane]);
+                let view = LaneView::faulty(
+                    &self.golden.trace,
+                    &scratch.trace,
+                    lane,
+                    scratch.converged_at[lane],
+                );
                 let class = self.judge.classify(&golden_view, &view, inject_cycle);
                 class_counts[class.tally_index()] += 1;
             }
@@ -218,33 +355,67 @@ where
         class_counts
     }
 
-    /// Resolve an injection point against the compiled circuit once, so
-    /// the per-batch loop pays no per-call lookup.
-    fn compile_point(&self, point: InjectionPoint) -> CompiledPoint {
-        match point {
-            InjectionPoint::Seu(ff) => CompiledPoint::Seu(ff),
-            InjectionPoint::Set(net) => CompiledPoint::Set(self.cc.fault_site(net)),
-        }
-    }
-
-    /// Simulate up to 64 injections into one point (one per lane),
-    /// returning the faulty output trace and, per lane, the cycle from
+    /// Simulate up to 64 injections into one point (one per lane) into
+    /// `scratch`: the faulty output trace and, per lane, the cycle from
     /// which the state provably equals golden again (`None` if it never
     /// re-converged).
-    fn simulate_batch(
+    ///
+    /// With `config.cone` set (the default) only the point's fan-out cone
+    /// is evaluated: boundary nets are broadcast per cycle from the
+    /// golden [`NetJournal`] (which also supplies the primary inputs, so
+    /// the stimulus is not replayed at all), only cone flip-flops tick,
+    /// convergence diffs are cone-scoped, and watched outputs outside the
+    /// cone are copied from the golden trace. The resulting trace and
+    /// convergence data are bit-identical to the full evaluation —
+    /// non-cone state provably cannot deviate from golden.
+    fn simulate_batch_into(
         &self,
-        point: CompiledPoint,
+        runner: &mut PointRunner,
+        scratch: &mut PointScratch,
         times: &[u64],
         config: &CampaignConfig,
-    ) -> (OutputTrace, Vec<Option<u64>>) {
+    ) {
         debug_assert!(!times.is_empty() && times.len() <= 64);
         let end = self.stimulus.num_cycles();
         let t0 = *times.iter().min().expect("non-empty batch");
         debug_assert!(t0 < end, "injection beyond testbench end");
 
-        let mut state = self.golden.restore(self.cc, t0);
-        let mut frame = InputFrame::new(self.cc.num_inputs());
-        let mut trace = OutputTrace::new(t0, end, self.watch.len());
+        let journal = if config.cone {
+            Some(self.net_journal())
+        } else {
+            None
+        };
+
+        let PointScratch {
+            state,
+            frame,
+            trace,
+            converged_at,
+            schedule,
+        } = scratch;
+        trace.reset(t0, end, self.watch.len());
+        converged_at.clear();
+        converged_at.resize(times.len(), None);
+
+        // Injection schedule: sort the lane times once and merge lanes
+        // sharing a cycle, instead of rescanning all lane times every
+        // cycle of the loop.
+        schedule.clear();
+        for (lane, &t) in times.iter().enumerate() {
+            schedule.push((t, 1u64 << lane));
+        }
+        schedule.sort_unstable_by_key(|&(t, _)| t);
+        let mut merged = 0usize;
+        for i in 1..schedule.len() {
+            if schedule[i].0 == schedule[merged].0 {
+                let mask = schedule[i].1;
+                schedule[merged].1 |= mask;
+            } else {
+                merged += 1;
+                schedule[merged] = schedule[i];
+            }
+        }
+        schedule.truncate(merged + 1);
 
         let active: u64 = if times.len() == 64 {
             !0
@@ -253,69 +424,142 @@ where
         };
         let mut pending = active; // lanes whose fault has not happened yet
         let mut converged = 0u64; // lanes whose state returned to golden
-        let mut converged_at: Vec<Option<u64>> = vec![None; times.len()];
+        let mut next_fault = 0usize;
 
-        for cycle in t0..end {
-            frame.clear();
-            self.stimulus.drive(cycle, &mut frame);
-            frame.apply(self.cc, &mut state);
+        if let Some(journal) = journal {
+            let cone = &runner.cone;
+            state.load_cone_state_broadcast(cone, self.golden.journal.state_at(t0));
+            state.set_cycle(t0);
+            for cycle in t0..end {
+                // Golden boundary values double as the stimulus: primary
+                // inputs the cone reads are boundary nets.
+                state.load_boundary(cone, journal.row(cycle));
 
-            // Lanes whose injection is scheduled for this cycle.
-            let mut fault_mask = 0u64;
-            for (lane, &t) in times.iter().enumerate() {
-                if t == cycle {
-                    fault_mask |= 1u64 << lane;
+                let mut fault_mask = 0u64;
+                while next_fault < schedule.len() && schedule[next_fault].0 == cycle {
+                    fault_mask |= schedule[next_fault].1;
+                    next_fault += 1;
                 }
-            }
-            if fault_mask != 0 {
-                pending &= !fault_mask;
-                // A faulted lane is no longer converged (relevant when
-                // the fault lands after an earlier convergence —
-                // impossible with one fault per lane, but kept for
-                // robustness).
-                converged &= !fault_mask;
-            }
-            match point {
-                // SEU: flip the state the cycle starts with, before
-                // combinational evaluation.
-                CompiledPoint::Seu(ff) => {
-                    if fault_mask != 0 {
-                        state.flip_ff(self.cc, ff, fault_mask);
+                if fault_mask != 0 {
+                    pending &= !fault_mask;
+                    converged &= !fault_mask;
+                }
+                match runner.point {
+                    CompiledPoint::Seu(ff) => {
+                        if fault_mask != 0 {
+                            state.flip_ff(self.cc, ff, fault_mask);
+                        }
+                        state.eval_cone(cone);
                     }
-                    state.eval(self.cc);
+                    CompiledPoint::Set(_) => {
+                        if fault_mask != 0 {
+                            state.eval_forced_cone(cone, fault_mask);
+                        } else {
+                            state.eval_cone(cone);
+                        }
+                    }
                 }
-                // SET: XOR-force the net for exactly this evaluation.
-                CompiledPoint::Set(site) => {
-                    if fault_mask != 0 {
-                        state.eval_forced_site(self.cc, site, fault_mask);
+                // Record watched outputs: in-cone from the state,
+                // out-of-cone are golden by construction.
+                let row = trace.row_mut(cycle);
+                let golden_row = self.golden.trace.row(cycle);
+                for (w, (&po, &in_cone)) in self
+                    .watch
+                    .indices()
+                    .iter()
+                    .zip(&runner.watch_in_cone)
+                    .enumerate()
+                {
+                    row[w] = if in_cone {
+                        state.output_word(self.cc, po)
                     } else {
+                        golden_row[w]
+                    };
+                }
+                state.tick_cone(cone);
+
+                if config.early_exit && pending == 0 {
+                    let next = cycle + 1;
+                    if next < end {
+                        let diff = state.diff_lanes_cone(cone, self.golden.journal.state_at(next));
+                        let newly = active & !diff & !converged;
+                        if newly != 0 {
+                            for (lane, at) in converged_at.iter_mut().enumerate() {
+                                if newly & (1u64 << lane) != 0 {
+                                    *at = Some(next);
+                                }
+                            }
+                            converged |= newly;
+                        }
+                        if converged == active {
+                            runner.cycles_saved += end - next;
+                            break;
+                        }
+                    }
+                }
+            }
+        } else {
+            // Full-circuit ablation path: reset clears residue a forced
+            // source net may have left in the reused state.
+            state.reset(self.cc);
+            state.load_ff_state_broadcast(self.cc, self.golden.journal.state_at(t0));
+            state.set_cycle(t0);
+            for cycle in t0..end {
+                frame.clear();
+                self.stimulus.drive(cycle, frame);
+                frame.apply(self.cc, state);
+
+                let mut fault_mask = 0u64;
+                while next_fault < schedule.len() && schedule[next_fault].0 == cycle {
+                    fault_mask |= schedule[next_fault].1;
+                    next_fault += 1;
+                }
+                if fault_mask != 0 {
+                    pending &= !fault_mask;
+                    converged &= !fault_mask;
+                }
+                match runner.point {
+                    // SEU: flip the state the cycle starts with, before
+                    // combinational evaluation.
+                    CompiledPoint::Seu(ff) => {
+                        if fault_mask != 0 {
+                            state.flip_ff(self.cc, ff, fault_mask);
+                        }
                         state.eval(self.cc);
                     }
-                }
-            }
-            trace.record(self.cc, self.watch, &state);
-            state.tick(self.cc);
-
-            if config.early_exit && pending == 0 {
-                let next = cycle + 1;
-                if next < end {
-                    let diff = state.diff_lanes(self.cc, self.golden.journal.state_at(next));
-                    let newly = active & !diff & !converged;
-                    if newly != 0 {
-                        for (lane, at) in converged_at.iter_mut().enumerate() {
-                            if newly & (1u64 << lane) != 0 {
-                                *at = Some(next);
-                            }
+                    // SET: XOR-force the net for exactly this evaluation.
+                    CompiledPoint::Set(site) => {
+                        if fault_mask != 0 {
+                            state.eval_forced_site(self.cc, site, fault_mask);
+                        } else {
+                            state.eval(self.cc);
                         }
-                        converged |= newly;
                     }
-                    if converged == active {
-                        break;
+                }
+                trace.record(self.cc, self.watch, state);
+                state.tick(self.cc);
+
+                if config.early_exit && pending == 0 {
+                    let next = cycle + 1;
+                    if next < end {
+                        let diff = state.diff_lanes(self.cc, self.golden.journal.state_at(next));
+                        let newly = active & !diff & !converged;
+                        if newly != 0 {
+                            for (lane, at) in converged_at.iter_mut().enumerate() {
+                                if newly & (1u64 << lane) != 0 {
+                                    *at = Some(next);
+                                }
+                            }
+                            converged |= newly;
+                        }
+                        if converged == active {
+                            runner.cycles_saved += end - next;
+                            break;
+                        }
                     }
                 }
             }
         }
-        (trace, converged_at)
     }
 
     /// Run the full flat campaign over every flip-flop, sequentially.

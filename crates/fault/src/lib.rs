@@ -22,6 +22,10 @@
 //!   identical and are skipped,
 //! * **compiled fault sites** — SET targets resolve their net→driving-op
 //!   lookup once ([`ffr_sim::FaultSite`]) instead of per evaluation,
+//! * **cone-restricted simulation** — only the injection point's fan-out
+//!   cone is evaluated; boundary nets replay golden values from a
+//!   [`ffr_sim::NetJournal`] and out-of-cone outputs come straight from
+//!   the golden trace ([`PointRunner`] / [`PointScratch`]),
 //! * **parallel campaign** — injection points are distributed over
 //!   threads with rayon.
 //!
@@ -52,7 +56,7 @@ mod result;
 mod sampling;
 pub mod set;
 
-pub use campaign::{Campaign, CampaignConfig};
+pub use campaign::{Campaign, CampaignConfig, PointRunner, PointScratch};
 pub use judge::{FailureJudge, OutputMismatchJudge};
 pub use model::{FailureClass, Fault, FaultKind, InjectionPoint};
 pub use result::{failure_fraction, failures_in, FdrHistogram, FdrTable, FfCampaignResult};

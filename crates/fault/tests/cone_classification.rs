@@ -1,0 +1,171 @@
+//! Property tests: cone-restricted campaign simulation classifies every
+//! injection exactly like full-circuit simulation.
+//!
+//! The cone path must be an *optimisation*, not an approximation — for
+//! both fault models, any injection target and any batch of injection
+//! times, the per-class tallies (and therefore every FDR table built
+//! from them) must match the full evaluation bit for bit.
+
+use ffr_fault::{Campaign, CampaignConfig, FailureClass, InjectionPoint, OutputMismatchJudge};
+use ffr_netlist::{Bus, FfId, NetId, NetlistBuilder};
+use ffr_sim::{CompiledCircuit, InputFrame, Stimulus, WatchList};
+use proptest::prelude::*;
+
+/// A small sequential design with feedback, cross-register logic and
+/// several observable outputs (same shape as the sim crate's
+/// `cone_equivalence.rs`).
+fn circuit(width: usize) -> CompiledCircuit {
+    let mut b = NetlistBuilder::new("cone_cls");
+    let a = b.input("a", width);
+    let en = b.input("en", 1);
+    let r1 = b.reg("r1", width);
+    let (sum, carry) = b.add(&r1.q(), &a);
+    b.connect_en(&r1, &en, &sum).unwrap();
+    let r2 = b.reg("r2", width);
+    let x = b.xor(&r1.q(), &a);
+    b.connect(&r2, &x).unwrap();
+    let red = b.reduce_xor(&r2.q());
+    b.output("sum", &r1.q());
+    b.output("parity", &red);
+    b.output("carry", &Bus::single(carry.net(0)));
+    CompiledCircuit::compile(b.finish().unwrap()).unwrap()
+}
+
+/// Deterministic broadcast stimulus: a pure function of the cycle.
+struct MixStimulus {
+    width: usize,
+    cycles: u64,
+}
+
+impl Stimulus for MixStimulus {
+    fn num_cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn drive(&self, cycle: u64, frame: &mut InputFrame) {
+        let mut x = cycle
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x ^= x >> 29;
+        for bit in 0..self.width {
+            frame.set(bit, (x >> bit) & 1 == 1);
+        }
+        frame.set(self.width, (x >> 21) & 1 == 1);
+    }
+}
+
+/// Every interesting SET target: gate outputs, flip-flop Q nets and
+/// primary inputs (driverless source sites).
+fn set_targets(cc: &CompiledCircuit) -> Vec<NetId> {
+    let mut targets = cc.comb_output_nets();
+    targets.extend((0..cc.num_ffs()).map(|i| cc.netlist().ff_q_net(FfId::from_index(i))));
+    targets.extend(cc.netlist().primary_inputs().iter().copied());
+    targets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `run_point_times` with `cone: true` (the default) tallies every
+    /// failure class identically to the full-circuit ablation path, for
+    /// both fault models and arbitrary batches of injection times.
+    #[test]
+    fn cone_tallies_equal_full_tallies(
+        width in 2usize..6,
+        seu in any::<bool>(),
+        pick in 0usize..64,
+        raw_times in proptest::collection::vec(0u64..1000, 1..80),
+        cycles in 24u64..48,
+    ) {
+        let cc = circuit(width);
+        let stim = MixStimulus { width, cycles };
+        let watch = WatchList::all(&cc);
+        let judge = OutputMismatchJudge::new();
+        let campaign = Campaign::new(&cc, &stim, &watch, &judge);
+
+        let point = if seu {
+            InjectionPoint::Seu(FfId::from_index(pick % cc.num_ffs()))
+        } else {
+            let nets = set_targets(&cc);
+            InjectionPoint::Set(nets[pick % nets.len()])
+        };
+        let times: Vec<u64> = raw_times.iter().map(|t| t % cycles).collect();
+
+        let base = CampaignConfig::new(0..cycles);
+        let cone = campaign.run_point_times(point, &times, &base.clone().with_cone(true));
+        let full = campaign.run_point_times(point, &times, &base.with_cone(false));
+        prop_assert_eq!(cone, full);
+        prop_assert_eq!(
+            cone.iter().sum::<usize>(),
+            times.len(),
+            "every injection classified exactly once"
+        );
+    }
+}
+
+/// Whole-table equivalence: an SEU campaign over every flip-flop produces
+/// the same FDR table with and without cone restriction — including with
+/// early exit disabled, which forces full-window simulation on both
+/// paths.
+#[test]
+fn fdr_tables_identical_with_and_without_cone() {
+    let cc = circuit(4);
+    let stim = MixStimulus {
+        width: 4,
+        cycles: 96,
+    };
+    let watch = WatchList::all(&cc);
+    let judge = OutputMismatchJudge::new();
+    let campaign = Campaign::new(&cc, &stim, &watch, &judge);
+
+    for early_exit in [true, false] {
+        let mut base = CampaignConfig::new(8..88).with_injections(48).with_seed(19);
+        base.early_exit = early_exit;
+        let cone = campaign.run(&base.clone().with_cone(true));
+        let full = campaign.run(&base.with_cone(false));
+        for (ff, _) in cc.netlist().ffs() {
+            assert_eq!(
+                cone.fdr(ff),
+                full.fdr(ff),
+                "FDR mismatch for {} (early_exit={early_exit})",
+                cc.netlist().ff_name(ff)
+            );
+        }
+    }
+}
+
+/// Scratch reuse across points and batches leaves no residue: running a
+/// SET campaign twice through the same `PointRunner`/`PointScratch` pair
+/// (and interleaving other points in between) reproduces the first
+/// tallies exactly.
+#[test]
+fn scratch_reuse_leaves_no_residue() {
+    let cc = circuit(3);
+    let stim = MixStimulus {
+        width: 3,
+        cycles: 64,
+    };
+    let watch = WatchList::all(&cc);
+    let judge = OutputMismatchJudge::new();
+    let campaign = Campaign::new(&cc, &stim, &watch, &judge);
+    let config = CampaignConfig::new(0..64);
+
+    let times: Vec<u64> = (0..64).map(|i| (i * 7) % 64).collect();
+    let mut scratch = campaign.point_scratch();
+    for cone in [true, false] {
+        let config = config.clone().with_cone(cone);
+        for point in set_targets(&cc)
+            .into_iter()
+            .map(InjectionPoint::Set)
+            .chain((0..cc.num_ffs()).map(|i| InjectionPoint::Seu(FfId::from_index(i))))
+        {
+            let mut runner = campaign.point_runner(point);
+            let first = campaign.run_point_times_with(&mut runner, &mut scratch, &times, &config);
+            let fresh = campaign.run_point_times(point, &times, &config);
+            assert_eq!(first, fresh, "reused scratch diverged for {point:?}");
+            let again = campaign.run_point_times_with(&mut runner, &mut scratch, &times, &config);
+            assert_eq!(first, again, "second pass diverged for {point:?}");
+        }
+    }
+    let _ = FailureClass::ALL; // tallies cover all classes by construction
+}

@@ -1,6 +1,6 @@
 //! Netlist levelization and compilation into a flat operation list.
 
-use ffr_netlist::{CellKind, NetId, Netlist};
+use ffr_netlist::{CellKind, FfId, NetId, Netlist};
 use std::fmt;
 
 /// Errors produced while compiling a netlist for simulation.
@@ -71,6 +71,78 @@ impl FaultSite {
     /// SET); `false` for source nets.
     pub fn has_comb_driver(&self) -> bool {
         self.driver.is_some()
+    }
+}
+
+/// The transitive fan-out cone of one injection net, compiled for
+/// cone-restricted differential fault simulation.
+///
+/// A single fault can only ever disturb the nets downstream of its
+/// injection net: the ops in the transitive fan-out (closed over
+/// flip-flop D→Q edges) and the flip-flops that latch cone nets.
+/// Everything else stays golden on every lane of every cycle, so the
+/// fault engine evaluates just [`Cone::num_ops`] ops per cycle instead of
+/// the full circuit, loads the **boundary nets** (non-cone nets read by
+/// cone ops) from a golden [`NetJournal`](crate::NetJournal), and checks
+/// convergence over [`Cone::num_ffs`] flip-flops only.
+///
+/// Built once per injection point via [`CompiledCircuit::ff_cone`] (SEU)
+/// or [`CompiledCircuit::net_cone`] (SET).
+#[derive(Debug, Clone)]
+pub struct Cone {
+    /// Cone ops, in the same topological order as the full op list.
+    pub(crate) ops: Vec<Op>,
+    /// Position in `ops` of the op driving the root net (a gate-output
+    /// SET root), or `None` for source roots (PI / flip-flop Q nets).
+    pub(crate) forced_split: Option<u32>,
+    /// The injection net.
+    pub(crate) root: u32,
+    /// Global indices of the flip-flops inside the cone, ascending.
+    pub(crate) ffs: Vec<u32>,
+    /// Q net of each cone flip-flop (parallel to `ffs`).
+    pub(crate) ff_q: Vec<u32>,
+    /// D net of each cone flip-flop (parallel to `ffs`).
+    pub(crate) ff_d: Vec<u32>,
+    /// Nets the cone reads (plus a source root) but does not produce,
+    /// ascending: golden at all times, broadcast from a net journal.
+    ///
+    /// Unused op operands are encoded as net 0, so net 0 may appear here
+    /// spuriously; loading it is harmless because [`CellKind::eval`]
+    /// ignores unused operands.
+    pub(crate) boundary: Vec<u32>,
+    /// Bitset over all nets: the root, cone op outputs and cone FF Q
+    /// nets — the only nets whose value can ever deviate from golden.
+    touched: Vec<u64>,
+}
+
+impl Cone {
+    /// Number of combinational ops inside the cone.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of flip-flops inside the cone.
+    pub fn num_ffs(&self) -> usize {
+        self.ffs.len()
+    }
+
+    /// Number of boundary nets (golden values broadcast per cycle).
+    pub fn num_boundary_nets(&self) -> usize {
+        self.boundary.len()
+    }
+
+    /// The injection net this cone was built for.
+    pub fn root(&self) -> NetId {
+        NetId::from_index(self.root as usize)
+    }
+
+    /// `true` if `net` can carry a non-golden value in some lane of some
+    /// cycle — it is the root, a cone op output, or a cone flip-flop Q
+    /// net. Watched outputs for which this is `false` are golden by
+    /// construction and can be served from the golden trace.
+    pub fn may_differ(&self, net: NetId) -> bool {
+        let n = net.index();
+        (self.touched[n / 64] >> (n % 64)) & 1 == 1
     }
 }
 
@@ -229,6 +301,166 @@ impl CompiledCircuit {
         FaultSite { target, driver }
     }
 
+    /// Compile the fan-out cone of a flip-flop's stored value (the SEU
+    /// injection target). The flip-flop itself is always part of the
+    /// cone, so its Q net is restored to golden by the cone tick even
+    /// when the upset does not feed back into its own D input.
+    pub fn ff_cone(&self, ff: FfId) -> Cone {
+        self.build_cone(self.ff_q[ff.index()], Some(ff.index()))
+    }
+
+    /// Compile the fan-out cone of an arbitrary net (the SET injection
+    /// target). Gate outputs seed their driving op into the cone (the op
+    /// whose evaluation is XOR-forced); source nets (primary inputs,
+    /// flip-flop Q nets) become boundary nets whose golden value the
+    /// forced evaluation flips in place.
+    pub fn net_cone(&self, net: NetId) -> Cone {
+        self.build_cone(net.index() as u32, None)
+    }
+
+    /// Fixpoint closure of the fan-out reachability from `root`: an op
+    /// joins the cone when it reads a reachable net (its output becomes
+    /// reachable), a flip-flop joins when its D net is reachable (its Q
+    /// net becomes reachable). The engine reads flip-flops only through
+    /// their D nets ([`SimState::tick`](crate::SimState::tick)), so
+    /// D-net reachability is exactly the sequential propagation edge.
+    fn build_cone(&self, root: u32, seed_ff: Option<usize>) -> Cone {
+        let nl = &self.netlist;
+        let num_ffs = self.ff_q.len();
+        let mut reached = vec![false; self.num_nets];
+        let mut op_in = vec![false; self.ops.len()];
+        let mut ff_in = vec![false; num_ffs];
+
+        // Flip-flops indexed by D net, for the sequential closure step.
+        let mut d_pairs: Vec<(u32, u32)> = self
+            .ff_d
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i as u32))
+            .collect();
+        d_pairs.sort_unstable();
+
+        let seed_op = match self.net_driver[root as usize] {
+            NO_DRIVER => None,
+            op => Some(op),
+        };
+        if let Some(op) = seed_op {
+            op_in[op as usize] = true;
+        }
+        if let Some(ff) = seed_ff {
+            ff_in[ff] = true;
+        }
+        let mut stack = vec![root];
+        reached[root as usize] = true;
+        while let Some(n) = stack.pop() {
+            for &reader in nl.readers(NetId::from_index(n as usize)) {
+                let cell = nl.cell(reader);
+                if cell.kind().is_sequential() {
+                    continue; // handled through d_pairs below
+                }
+                let out = cell.output().index();
+                let op = self.net_driver[out] as usize;
+                if !op_in[op] {
+                    op_in[op] = true;
+                    if !reached[out] {
+                        reached[out] = true;
+                        stack.push(out as u32);
+                    }
+                }
+            }
+            let from = d_pairs.partition_point(|&(d, _)| d < n);
+            for &(d, ff) in &d_pairs[from..] {
+                if d != n {
+                    break;
+                }
+                if !ff_in[ff as usize] {
+                    ff_in[ff as usize] = true;
+                    let q = self.ff_q[ff as usize];
+                    if !reached[q as usize] {
+                        reached[q as usize] = true;
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+
+        // Collect cone ops in global topological order; remember where
+        // the forced op landed.
+        let mut ops = Vec::new();
+        let mut forced_split = None;
+        for (i, op) in self.ops.iter().enumerate() {
+            if op_in[i] {
+                if seed_op == Some(i as u32) {
+                    forced_split = Some(ops.len() as u32);
+                }
+                ops.push(*op);
+            }
+        }
+        let mut ffs = Vec::new();
+        let mut ff_q = Vec::new();
+        let mut ff_d = Vec::new();
+        for (i, &inside) in ff_in.iter().enumerate() {
+            if inside {
+                ffs.push(i as u32);
+                ff_q.push(self.ff_q[i]);
+                ff_d.push(self.ff_d[i]);
+            }
+        }
+
+        let words = self.num_nets.div_ceil(64);
+        let mut touched = vec![0u64; words];
+        let mut produced = vec![0u64; words];
+        let set = |bits: &mut [u64], n: u32| bits[(n / 64) as usize] |= 1u64 << (n % 64);
+        set(&mut touched, root);
+        for op in &ops {
+            set(&mut touched, op.out);
+            set(&mut produced, op.out);
+        }
+        for &q in &ff_q {
+            set(&mut touched, q);
+            set(&mut produced, q);
+        }
+
+        // Boundary: every net the cone reads (op operands, cone FF D
+        // nets, and a source root) that the cone does not itself produce.
+        let mut boundary = Vec::new();
+        let mut in_boundary = vec![false; self.num_nets];
+        let need = |n: u32, boundary: &mut Vec<u32>, in_boundary: &mut [bool]| {
+            let produced_bit = (produced[(n / 64) as usize] >> (n % 64)) & 1;
+            if produced_bit == 0 && !in_boundary[n as usize] {
+                in_boundary[n as usize] = true;
+                boundary.push(n);
+            }
+        };
+        for op in &ops {
+            need(op.a, &mut boundary, &mut in_boundary);
+            need(op.b, &mut boundary, &mut in_boundary);
+            need(op.c, &mut boundary, &mut in_boundary);
+        }
+        for &d in &ff_d {
+            need(d, &mut boundary, &mut in_boundary);
+        }
+        need(root, &mut boundary, &mut in_boundary);
+        boundary.sort_unstable();
+
+        Cone {
+            ops,
+            forced_split,
+            root,
+            ffs,
+            ff_q,
+            ff_d,
+            boundary,
+            touched,
+        }
+    }
+
+    /// The net behind primary output `po_index` (the index space of
+    /// [`WatchList`](crate::WatchList) entries).
+    pub fn output_net(&self, po_index: usize) -> NetId {
+        NetId::from_index(self.po_nets[po_index] as usize)
+    }
+
     /// Every net driven by a combinational op, ascending by net index —
     /// the canonical SET-campaign target list.
     pub fn comb_output_nets(&self) -> Vec<NetId> {
@@ -327,6 +559,80 @@ mod tests {
             "module m (a, o);\n  input a;\n  output o;\n  BUF_X1 u (.A(a), .Z(o));\nendmodule\n";
         let n2 = ffr_netlist::verilog::parse(src_ok).unwrap();
         assert!(CompiledCircuit::compile(n2).is_ok());
+    }
+
+    #[test]
+    fn cone_of_live_ff_covers_feedback_and_excludes_independent_logic() {
+        // Two independent counters: the cone of a FF in one must not
+        // contain any op or FF of the other.
+        let mut b = NetlistBuilder::new("cones");
+        let en = b.input("en", 1);
+        let r1 = b.reg("a", 4);
+        let n1 = b.inc(&r1.q());
+        b.connect_en(&r1, &en, &n1).unwrap();
+        b.output("va", &r1.q());
+        let r2 = b.reg("b", 4);
+        let n2 = b.inc(&r2.q());
+        b.connect_en(&r2, &en, &n2).unwrap();
+        b.output("vb", &r2.q());
+        let cc = CompiledCircuit::compile(b.finish().unwrap()).unwrap();
+
+        let nl = cc.netlist();
+        let a0 = nl
+            .ffs()
+            .map(|(ff, _)| ff)
+            .find(|&ff| nl.ff_name(ff).starts_with('a'))
+            .unwrap();
+        let cone = cc.ff_cone(a0);
+        // Feedback: the upset FF is in its own cone.
+        assert!(cone.ffs.contains(&(a0.index() as u32)));
+        // No FF of the other counter leaks in.
+        for &ff in &cone.ffs {
+            let name = nl.ff_name(FfId::from_index(ff as usize));
+            assert!(name.starts_with('a'), "foreign FF {name} in cone");
+        }
+        // The cone is a proper subset of the circuit.
+        assert!(cone.num_ops() > 0 && cone.num_ops() < cc.num_ops());
+        assert!(cone.num_ffs() <= 4);
+        // Source root (Q net) has no forced op.
+        assert!(cone.forced_split.is_none());
+        assert_eq!(cone.root(), nl.ff_q_net(a0));
+        // Watched outputs of counter `b` cannot differ.
+        let va_differs = (0..4).any(|i| cone.may_differ(cc.output_net(i)));
+        let vb_differs = (4..8).any(|i| cone.may_differ(cc.output_net(i)));
+        assert!(va_differs && !vb_differs);
+    }
+
+    #[test]
+    fn net_cone_of_gate_output_carries_forced_split() {
+        let mut b = NetlistBuilder::new("g");
+        let en = b.input("en", 1);
+        let r = b.reg("count", 4);
+        let next = b.inc(&r.q());
+        b.connect_en(&r, &en, &next).unwrap();
+        b.output("value", &r.q());
+        let cc = CompiledCircuit::compile(b.finish().unwrap()).unwrap();
+
+        for &net in &cc.comb_output_nets() {
+            let cone = cc.net_cone(net);
+            let split = cone.forced_split.expect("gate output has a driver") as usize;
+            // The forced op is the one driving the root.
+            assert_eq!(cone.ops[split].out as usize, net.index());
+            assert!(cone.may_differ(net));
+            // Boundary nets are never produced by the cone.
+            for &bn in &cone.boundary {
+                assert!(
+                    cone.ops.iter().all(|op| op.out != bn),
+                    "boundary net {bn} is a cone op output"
+                );
+                assert!(!cone.ff_q.contains(&bn));
+            }
+        }
+        // A primary-input root is a source: no split, root in boundary.
+        let pi = cc.netlist().primary_inputs()[0];
+        let cone = cc.net_cone(pi);
+        assert!(cone.forced_split.is_none());
+        assert!(cone.boundary.contains(&(pi.index() as u32)));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The per-run simulation state and evaluation loop.
 
-use crate::compile::CompiledCircuit;
+use crate::compile::{CompiledCircuit, Cone};
 use ffr_netlist::FfId;
 
 /// Number of independent simulation lanes packed into each net value.
@@ -110,6 +110,141 @@ impl SimState {
                 v[op.out as usize] = op.kind.eval(a, b, c) ^ mask;
                 Self::eval_ops(v, &rest[1..]);
             }
+        }
+    }
+
+    /// Reset the state in place to the power-on values of
+    /// [`SimState::new`], reusing the allocations. Batch loops that
+    /// recycle one state across batches call this before restoring a
+    /// journal entry so leftover values (e.g. a forced source net) cannot
+    /// leak into the next batch.
+    pub fn reset(&mut self, cc: &CompiledCircuit) {
+        self.values.fill(0);
+        for (i, &q) in cc.ff_q.iter().enumerate() {
+            self.values[q as usize] = if cc.ff_init[i] { !0 } else { 0 };
+        }
+        self.cycle = 0;
+    }
+
+    /// Evaluate only the combinational logic inside a fan-out cone.
+    ///
+    /// Boundary nets must hold their golden values for the current cycle
+    /// (see [`SimState::load_boundary`]); everything outside the cone is
+    /// untouched and must not be read.
+    pub fn eval_cone(&mut self, cone: &Cone) {
+        Self::eval_ops(&mut self.values, &cone.ops);
+    }
+
+    /// Cone-restricted [`SimState::eval_forced_site`]: evaluate the cone
+    /// while XOR-forcing the cone's root net.
+    ///
+    /// Gate-output roots split the cone op list at the driving op; source
+    /// roots (primary inputs, flip-flop Q nets) are flipped in place
+    /// before the cone ops run — for a boundary-loaded source root the
+    /// flip lasts exactly one cycle, because the next
+    /// [`SimState::load_boundary`] restores the golden value, mirroring
+    /// how the full evaluation's driver overwrites it.
+    pub fn eval_forced_cone(&mut self, cone: &Cone, mask: u64) {
+        let v = &mut self.values;
+        match cone.forced_split {
+            None => {
+                v[cone.root as usize] ^= mask;
+                Self::eval_ops(v, &cone.ops);
+            }
+            Some(split) => {
+                let (before, rest) = cone.ops.split_at(split as usize);
+                Self::eval_ops(v, before);
+                let op = &rest[0];
+                let a = v[op.a as usize];
+                let b = v[op.b as usize];
+                let c = v[op.c as usize];
+                v[op.out as usize] = op.kind.eval(a, b, c) ^ mask;
+                Self::eval_ops(v, &rest[1..]);
+            }
+        }
+    }
+
+    /// Cone-restricted [`SimState::tick`]: only the cone's flip-flops
+    /// capture their data inputs. Sound because flip-flops outside the
+    /// cone hold golden values that the cone never reads directly — cone
+    /// ops read them through boundary-net loads instead.
+    pub fn tick_cone(&mut self, cone: &Cone) {
+        for (i, &d) in cone.ff_d.iter().enumerate() {
+            self.scratch[i] = self.values[d as usize];
+        }
+        for (i, &q) in cone.ff_q.iter().enumerate() {
+            self.values[q as usize] = self.scratch[i];
+        }
+        self.cycle += 1;
+    }
+
+    /// Broadcast the golden values of the cone's boundary nets for one
+    /// cycle, from a [`NetJournal`](crate::NetJournal) row.
+    ///
+    /// Must be called before [`SimState::eval_cone`] every cycle: it
+    /// supplies the primary inputs, upstream gate outputs and non-cone
+    /// flip-flop values the cone reads, so the cone loop needs no
+    /// stimulus replay at all.
+    pub fn load_boundary(&mut self, cone: &Cone, row: &[u64]) {
+        for &n in &cone.boundary {
+            let bit = (row[(n / 64) as usize] >> (n % 64)) & 1;
+            self.values[n as usize] = bit.wrapping_neg();
+        }
+    }
+
+    /// Load the cone flip-flops from a packed full-circuit state
+    /// (indexed by global flip-flop index), broadcasting each bit to all
+    /// lanes — the cone-scoped [`SimState::load_ff_state_broadcast`].
+    pub fn load_cone_state_broadcast(&mut self, cone: &Cone, packed: &[u64]) {
+        for (k, &ff) in cone.ffs.iter().enumerate() {
+            let ff = ff as usize;
+            let bit = (packed[ff / 64] >> (ff % 64)) & 1;
+            self.values[cone.ff_q[k] as usize] = bit.wrapping_neg();
+        }
+    }
+
+    /// Cone-scoped [`SimState::diff_lanes`]: lanes whose **cone**
+    /// flip-flop state differs from the packed golden state (indexed by
+    /// global flip-flop index).
+    ///
+    /// Equivalent to the full diff for single-fault batches — flip-flops
+    /// outside the fan-out cone can never deviate from golden — while
+    /// costing O(|cone FFs|) instead of O(all FFs) per cycle.
+    pub fn diff_lanes_cone(&self, cone: &Cone, packed: &[u64]) -> u64 {
+        let mut diff = 0u64;
+        for (k, &ff) in cone.ffs.iter().enumerate() {
+            let ff = ff as usize;
+            let bit = (packed[ff / 64] >> (ff % 64)) & 1;
+            diff |= self.values[cone.ff_q[k] as usize] ^ bit.wrapping_neg();
+        }
+        diff
+    }
+
+    /// Cone-scoped [`SimState::pack_ff_state`]: overwrite the cone
+    /// flip-flops' bits of a packed full-circuit state with lane `lane`'s
+    /// values, leaving non-cone bits untouched.
+    ///
+    /// Seeding `out` with a golden journal row therefore reconstructs the
+    /// full faulty state of the lane, since non-cone flip-flops are
+    /// golden by construction.
+    pub fn pack_ff_state_cone(&self, cone: &Cone, lane: usize, out: &mut [u64]) {
+        debug_assert!(lane < LANES);
+        for (k, &ff) in cone.ffs.iter().enumerate() {
+            let ff = ff as usize;
+            let bit = (self.values[cone.ff_q[k] as usize] >> lane) & 1;
+            out[ff / 64] = (out[ff / 64] & !(1u64 << (ff % 64))) | (bit << (ff % 64));
+        }
+    }
+
+    /// Pack the lane-`lane` value of **every net** into `out` (one bit
+    /// per net). This is the capture primitive of
+    /// [`NetJournal`](crate::NetJournal).
+    pub fn pack_net_state(&self, lane: usize, out: &mut Vec<u64>) {
+        debug_assert!(lane < LANES);
+        out.clear();
+        out.resize(self.values.len().div_ceil(64), 0);
+        for (n, &w) in self.values.iter().enumerate() {
+            out[n / 64] |= ((w >> lane) & 1) << (n % 64);
         }
     }
 

@@ -65,6 +65,77 @@ impl StateJournal {
     }
 }
 
+/// Packed lane-0 value of **every net** for every cycle of the golden
+/// run — the boundary-net journal of cone-restricted fault simulation.
+///
+/// Row `c` is captured after the combinational evaluation of cycle `c`
+/// (before the clock edge), so it holds exactly what any op reads during
+/// cycle `c`: primary inputs carry the cycle-`c` stimulus, gate outputs
+/// their cycle-`c` golden values, and flip-flop Q nets the state
+/// *entering* cycle `c`. Broadcasting a cone's boundary nets from row `c`
+/// therefore reproduces the full evaluation's environment without
+/// replaying the stimulus.
+///
+/// Kept separate from [`GoldenRun`] (and from its serialized artifact
+/// shape): it is a derived acceleration structure, recaptured lazily per
+/// campaign, not part of the golden reference.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetJournal {
+    words_per_cycle: usize,
+    cycles: u64,
+    data: Vec<u64>,
+}
+
+impl NetJournal {
+    /// Replay the stimulus from reset at full-circuit speed and record
+    /// every net's lane-0 value per cycle.
+    pub fn capture(cc: &CompiledCircuit, stimulus: &dyn Stimulus) -> NetJournal {
+        let cycles = stimulus.num_cycles();
+        let words_per_cycle = cc.num_nets.div_ceil(64);
+        let mut journal = NetJournal {
+            words_per_cycle,
+            cycles,
+            data: vec![0; words_per_cycle * cycles as usize],
+        };
+        let mut state = SimState::new(cc);
+        let mut frame = InputFrame::new(cc.num_inputs());
+        let mut scratch = Vec::new();
+        for cycle in 0..cycles {
+            frame.clear();
+            stimulus.drive(cycle, &mut frame);
+            frame.apply(cc, &mut state);
+            state.eval(cc);
+            state.pack_net_state(0, &mut scratch);
+            let row = cycle as usize * words_per_cycle;
+            journal.data[row..row + words_per_cycle].copy_from_slice(&scratch);
+            state.tick(cc);
+        }
+        journal
+    }
+
+    /// Number of journalled cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Packed net values during cycle `cycle` (post-eval, pre-tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is out of range.
+    pub fn row(&self, cycle: u64) -> &[u64] {
+        assert!(cycle < self.cycles, "cycle {cycle} beyond net journal");
+        let row = cycle as usize * self.words_per_cycle;
+        &self.data[row..row + self.words_per_cycle]
+    }
+
+    /// Golden value of one net during `cycle`.
+    pub fn net_bit(&self, cycle: u64, net: ffr_netlist::NetId) -> bool {
+        let row = self.row(cycle);
+        (row[net.index() / 64] >> (net.index() % 64)) & 1 == 1
+    }
+}
+
 /// Legacy alias kept for API compatibility: a journal entry used as an
 /// explicit checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -194,6 +265,37 @@ mod tests {
         for ff in 0..cc.num_ffs() {
             assert!(!golden.journal.ff_bit(0, ffr_netlist::FfId::from_index(ff)));
         }
+    }
+
+    #[test]
+    fn net_journal_rows_match_replayed_values() {
+        let cc = counter();
+        let journal = NetJournal::capture(&cc, &CountEnable);
+        assert_eq!(journal.cycles(), 40);
+
+        let mut state = SimState::new(&cc);
+        let mut frame = InputFrame::new(cc.num_inputs());
+        for cycle in 0..40u64 {
+            frame.clear();
+            CountEnable.drive(cycle, &mut frame);
+            frame.apply(&cc, &mut state);
+            state.eval(&cc);
+            for net in 0..cc.netlist().num_nets() {
+                let net = ffr_netlist::NetId::from_index(net);
+                let expected = state.net_word(net) & 1 == 1;
+                assert_eq!(
+                    journal.net_bit(cycle, net),
+                    expected,
+                    "net {net} at cycle {cycle}"
+                );
+            }
+            state.tick(&cc);
+        }
+        // Primary inputs carry the cycle's stimulus (en is low on
+        // multiples of 3).
+        let en = cc.netlist().primary_inputs()[0];
+        assert!(!journal.net_bit(3, en));
+        assert!(journal.net_bit(4, en));
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`run_testbench`] — drive a [`Stimulus`] against a circuit while
 //!   recording an [`OutputTrace`] and per-flip-flop [`ActivityTrace`],
 //! * [`GoldenRun`] — reference run artifacts consumed by `ffr-fault`:
-//!   per-cycle flip-flop state journal, checkpoints, output trace.
+//!   per-cycle flip-flop state journal, checkpoints, output trace,
+//! * [`Cone`] / [`NetJournal`] — cone-restricted differential fault
+//!   simulation: evaluate only the injection point's fan-out cone and
+//!   broadcast golden boundary-net values from an all-nets journal.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,9 +31,9 @@ mod testbench;
 pub mod vcd;
 
 pub use activity::ActivityTrace;
-pub use compile::{CompiledCircuit, FaultSite, SimError};
+pub use compile::{CompiledCircuit, Cone, FaultSite, SimError};
 pub use engine::SimState;
-pub use golden::{Checkpoint, GoldenRun, StateJournal};
+pub use golden::{Checkpoint, GoldenRun, NetJournal, StateJournal};
 pub use testbench::{
     run_testbench, InputFrame, LaneView, OutputTrace, Stimulus, TestbenchRun, WatchList,
 };

@@ -187,6 +187,51 @@ impl OutputTrace {
         }
     }
 
+    /// Re-initialize the trace in place for a new cycle range, zeroing
+    /// every word. Reuses the existing allocation — batch loops call this
+    /// instead of constructing a fresh trace per batch, with identical
+    /// resulting contents.
+    pub fn reset(&mut self, start: u64, end: u64, width: usize) {
+        assert!(end >= start);
+        self.start = start;
+        self.end = end;
+        self.width = width;
+        self.data.clear();
+        self.data.resize((end - start) as usize * width, 0);
+    }
+
+    /// All watched-output words of one cycle, in watch-list order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle is outside the recorded range.
+    pub fn row(&self, cycle: u64) -> &[u64] {
+        assert!(
+            cycle >= self.start && cycle < self.end,
+            "cycle {cycle} outside trace range {}..{}",
+            self.start,
+            self.end
+        );
+        let row = (cycle - self.start) as usize * self.width;
+        &self.data[row..row + self.width]
+    }
+
+    /// Mutable access to one cycle's watched-output words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle is outside the recorded range.
+    pub fn row_mut(&mut self, cycle: u64) -> &mut [u64] {
+        assert!(
+            cycle >= self.start && cycle < self.end,
+            "cycle {cycle} outside trace range {}..{}",
+            self.start,
+            self.end
+        );
+        let row = (cycle - self.start) as usize * self.width;
+        &mut self.data[row..row + self.width]
+    }
+
     /// First recorded cycle.
     pub fn start(&self) -> u64 {
         self.start

@@ -1,0 +1,185 @@
+//! Property tests: cone-restricted differential simulation is
+//! observationally equivalent to full-circuit evaluation.
+//!
+//! For any injection target (SEU flip-flop, gate-output SET, source-net
+//! SET), any lane/time batch and any cycle, the cone path — boundary
+//! nets broadcast from a [`NetJournal`], only cone ops evaluated, only
+//! cone flip-flops ticked — must produce exactly the watched outputs,
+//! convergence masks and packed states of the full evaluation. Watched
+//! outputs outside the cone are golden by construction
+//! ([`Cone::may_differ`]) and are compared against the golden trace.
+
+use ffr_netlist::{Bus, FfId, NetId, NetlistBuilder};
+use ffr_sim::{
+    CompiledCircuit, Cone, FaultSite, GoldenRun, InputFrame, NetJournal, SimState, Stimulus,
+    WatchList,
+};
+use proptest::prelude::*;
+
+/// A small sequential design with feedback, cross-register logic and
+/// several observable outputs (same shape as `lane_consistency.rs`).
+fn circuit(width: usize) -> CompiledCircuit {
+    let mut b = NetlistBuilder::new("cone_eq");
+    let a = b.input("a", width);
+    let en = b.input("en", 1);
+    let r1 = b.reg("r1", width);
+    let (sum, carry) = b.add(&r1.q(), &a);
+    b.connect_en(&r1, &en, &sum).unwrap();
+    let r2 = b.reg("r2", width);
+    let x = b.xor(&r1.q(), &a);
+    b.connect(&r2, &x).unwrap();
+    let red = b.reduce_xor(&r2.q());
+    b.output("sum", &r1.q());
+    b.output("parity", &red);
+    b.output("carry", &Bus::single(carry.net(0)));
+    CompiledCircuit::compile(b.finish().unwrap()).unwrap()
+}
+
+/// Deterministic broadcast stimulus: a pure function of the cycle.
+struct MixStimulus {
+    width: usize,
+    cycles: u64,
+}
+
+impl Stimulus for MixStimulus {
+    fn num_cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn drive(&self, cycle: u64, frame: &mut InputFrame) {
+        let mut x = cycle
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x ^= x >> 29;
+        for bit in 0..self.width {
+            frame.set(bit, (x >> bit) & 1 == 1);
+        }
+        frame.set(self.width, (x >> 21) & 1 == 1);
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Target {
+    Seu(FfId),
+    Set(FaultSite),
+}
+
+/// Every interesting SET/SEU target of the circuit: gate outputs (driven
+/// sites), flip-flop Q nets and primary inputs (source sites).
+fn set_targets(cc: &CompiledCircuit) -> Vec<NetId> {
+    let mut targets = cc.comb_output_nets();
+    targets.extend((0..cc.num_ffs()).map(|i| cc.netlist().ff_q_net(FfId::from_index(i))));
+    targets.extend(cc.netlist().primary_inputs().iter().copied());
+    targets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cone-restricted batch simulation ≡ full-circuit batch simulation:
+    /// identical watched outputs every cycle (with out-of-cone outputs
+    /// served from the golden trace), identical convergence diffs and
+    /// identical reconstructed packed states, for both fault models and
+    /// random per-lane injection times.
+    #[test]
+    fn cone_batch_equals_full_batch(
+        width in 2usize..6,
+        seu in any::<bool>(),
+        pick in 0usize..64,
+        raw_times in proptest::collection::vec(0u64..1000, 1..16),
+        cycles in 24u64..48,
+    ) {
+        let cc = circuit(width);
+        let stim = MixStimulus { width, cycles };
+        let watch = WatchList::all(&cc);
+        let golden = GoldenRun::capture(&cc, &stim, &watch);
+        let netj = NetJournal::capture(&cc, &stim);
+
+        let (cone, target): (Cone, Target) = if seu {
+            let ff = FfId::from_index(pick % cc.num_ffs());
+            (cc.ff_cone(ff), Target::Seu(ff))
+        } else {
+            let nets = set_targets(&cc);
+            let net = nets[pick % nets.len()];
+            (cc.net_cone(net), Target::Set(cc.fault_site(net)))
+        };
+        prop_assert!(cone.num_ops() <= cc.num_ops());
+        prop_assert!(cone.num_ffs() <= cc.num_ffs());
+
+        let times: Vec<u64> = raw_times.iter().map(|t| t % cycles).collect();
+        let t0 = *times.iter().min().unwrap();
+
+        let mut full = golden.restore(&cc, t0);
+        let mut frame = InputFrame::new(cc.num_inputs());
+        let mut cstate = SimState::new(&cc);
+        cstate.load_cone_state_broadcast(&cone, golden.journal.state_at(t0));
+        cstate.set_cycle(t0);
+
+        for cycle in t0..cycles {
+            frame.clear();
+            stim.drive(cycle, &mut frame);
+            frame.apply(&cc, &mut full);
+            cstate.load_boundary(&cone, netj.row(cycle));
+
+            let mut mask = 0u64;
+            for (lane, &t) in times.iter().enumerate() {
+                if t == cycle {
+                    mask |= 1u64 << lane;
+                }
+            }
+            match target {
+                Target::Seu(ff) => {
+                    if mask != 0 {
+                        full.flip_ff(&cc, ff, mask);
+                        cstate.flip_ff(&cc, ff, mask);
+                    }
+                    full.eval(&cc);
+                    cstate.eval_cone(&cone);
+                }
+                Target::Set(site) => {
+                    if mask != 0 {
+                        full.eval_forced_site(&cc, site, mask);
+                        cstate.eval_forced_cone(&cone, mask);
+                    } else {
+                        full.eval(&cc);
+                        cstate.eval_cone(&cone);
+                    }
+                }
+            }
+
+            // Watched outputs agree: in-cone outputs from the cone state,
+            // out-of-cone outputs are provably golden.
+            for (w, &po) in watch.indices().iter().enumerate() {
+                let want = full.output_word(&cc, po);
+                let got = if cone.may_differ(cc.output_net(po)) {
+                    cstate.output_word(&cc, po)
+                } else {
+                    golden.trace.word(w, cycle)
+                };
+                prop_assert_eq!(want, got, "output {} at cycle {}", w, cycle);
+            }
+
+            full.tick(&cc);
+            cstate.tick_cone(&cone);
+
+            let next = cycle + 1;
+            if next < cycles {
+                let packed = golden.journal.state_at(next);
+                // Convergence detection sees identical lane diffs.
+                prop_assert_eq!(
+                    full.diff_lanes(&cc, packed),
+                    cstate.diff_lanes_cone(&cone, packed),
+                    "diff mask entering cycle {}", next
+                );
+                // Overlaying the cone flip-flops on the golden row
+                // reconstructs the full packed state of any lane.
+                let lane = times.len() - 1;
+                let mut want = Vec::new();
+                full.pack_ff_state(&cc, lane, &mut want);
+                let mut got = packed.to_vec();
+                cstate.pack_ff_state_cone(&cone, lane, &mut got);
+                prop_assert_eq!(want, got, "packed overlay entering cycle {}", next);
+            }
+        }
+    }
+}
