@@ -1,0 +1,9 @@
+//! The `ffrd` campaign service: submit campaigns over HTTP, drain them
+//! with `ffr worker` fleets.
+//!
+//! See `ffrd --help` for usage and the endpoint reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ffr_campaign::service::ffrd_main(&args));
+}

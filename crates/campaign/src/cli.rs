@@ -35,7 +35,6 @@ use crate::store::ArtifactStore;
 use crate::work;
 use ffr_core::ModelKind;
 use ffr_fault::{FailureClass, FaultKind, FdrTable, SetDeratingTable};
-use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -109,13 +108,14 @@ ESTIMATE OPTIONS:
     --force                 recompute even if a report is cached
 ";
 
-/// Parsed `--flag value` arguments.
-struct Args {
+/// Parsed `--flag value` arguments (shared with the `ffrd` entry
+/// point in [`crate::service`]).
+pub(crate) struct Args {
     flags: Vec<(String, Option<String>)>,
 }
 
 impl Args {
-    fn parse(args: &[String]) -> Result<Args, String> {
+    pub(crate) fn parse(args: &[String]) -> Result<Args, String> {
         let mut flags = Vec::new();
         let mut iter = args.iter().peekable();
         while let Some(arg) = iter.next() {
@@ -140,7 +140,7 @@ impl Args {
         self.flags.iter().any(|(n, _)| n == name)
     }
 
-    fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+    pub(crate) fn value(&mut self, name: &str) -> Result<Option<String>, String> {
         match self.take(name) {
             None => Ok(None),
             Some(Some(v)) => Ok(Some(v)),
@@ -148,7 +148,7 @@ impl Args {
         }
     }
 
-    fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String>
+    pub(crate) fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String>
     where
         T::Err: std::fmt::Display,
     {
@@ -161,7 +161,7 @@ impl Args {
         }
     }
 
-    fn present(&mut self, name: &str) -> Result<bool, String> {
+    pub(crate) fn present(&mut self, name: &str) -> Result<bool, String> {
         match self.take(name) {
             None => Ok(false),
             Some(None) => Ok(true),
@@ -169,7 +169,7 @@ impl Args {
         }
     }
 
-    fn finish(self) -> Result<(), String> {
+    pub(crate) fn finish(self) -> Result<(), String> {
         match self.flags.first() {
             None => Ok(()),
             Some((name, _)) => Err(format!("unknown option `--{name}`")),
@@ -349,222 +349,11 @@ fn cmd_resume(mut args: Args) -> Result<i32, String> {
     })
 }
 
-/// One lease as reported by `ffr status`.
-#[derive(Debug, Clone, Serialize)]
-struct LeaseStatus {
-    range_start: usize,
-    range_end: usize,
-    worker: String,
-    /// Seconds until expiry (negative once expired).
-    expires_in_secs: i64,
-    expired: bool,
-}
-
-/// One worker's aggregate progress as reported by `ffr status`.
-#[derive(Debug, Clone, Serialize)]
-struct WorkerStatus {
-    worker: String,
-    active_leases: usize,
-    stale_leases: usize,
-    shards: usize,
-    retired_points: usize,
-}
-
-/// Campaign-level progress as reported by `ffr status`.
-#[derive(Debug, Clone, Serialize)]
-struct ProgressStatus {
-    completed_points: usize,
-    total_points: usize,
-    injections: usize,
-    complete: bool,
-}
-
-/// Schema version of the `ffr status --json` document (bumped on any
-/// backwards-incompatible change; adding fields is compatible).
-const STATUS_SCHEMA_VERSION: u64 = 1;
-
-/// Live rates derived from the session's telemetry logs, when available.
-#[derive(Debug, Clone, Serialize)]
-struct TelemetryStatus {
-    /// Observed injection throughput (injections per worker-second of
-    /// measurement).
-    injections_per_sec: f64,
-    /// Estimated seconds to retire the remaining points at that rate
-    /// (absent once complete, or before any point has been retired).
-    eta_secs: Option<u64>,
-}
-
-/// The full `ffr status` report (also the `--json` document).
-#[derive(Debug, Serialize)]
-struct StatusReport {
-    schema_version: u64,
-    session: String,
-    circuit: String,
-    fault: String,
-    seed: u64,
-    policy: String,
-    fingerprint: String,
-    /// Merged progress (base checkpoint + every shard); `None` before the
-    /// campaign has any checkpoint or shard.
-    progress: Option<ProgressStatus>,
-    /// Per-worker breakdown of distributed draining (empty for
-    /// single-process sessions).
-    workers: Vec<WorkerStatus>,
-    leases: Vec<LeaseStatus>,
-    shard_count: usize,
-    complete_shards: usize,
-    table: Option<String>,
-    /// Live rate / ETA estimates from the telemetry logs (absent when
-    /// telemetry is disabled or empty).
-    telemetry: Option<TelemetryStatus>,
-}
-
-/// Assemble the status of a session directory: manifest facts plus a
-/// merged view of the single-process checkpoint and any worker shards.
-/// Returns the fault model alongside for fault-dependent rendering.
-fn gather_status(out: &std::path::Path) -> Result<(StatusReport, FaultKind), String> {
-    let paths = SessionPaths::new(out);
-    let manifest = CampaignManifest::load(&paths.manifest()).map_err(|e| e.to_string())?;
-    let shards = work::list_shards(&paths.shards_dir()).map_err(|e| e.to_string())?;
-    let lease_files = work::list_leases(&paths.leases_dir()).map_err(|e| e.to_string())?;
-    let now = work::unix_now();
-
-    // Progress: merge every shard into the base checkpoint when one
-    // exists; otherwise aggregate over the shards alone (worker-only
-    // sessions have no checkpoint.json until completion).
-    let progress = match CampaignCheckpoint::load(&paths.checkpoint()) {
-        Ok(mut cp) => {
-            for shard in &shards {
-                // Foreign/stale shards are a display concern here, not a
-                // hard error — skip them.
-                let _ = cp.merge_shard(shard);
-            }
-            Some(ProgressStatus {
-                completed_points: cp.completed_points(),
-                total_points: cp.num_points,
-                injections: cp.total_injections(),
-                complete: cp.is_complete(),
-            })
-        }
-        Err(_) if !shards.is_empty() => {
-            // Deduplicate by point index: workers launched with different
-            // --lease-points leave overlapping shards (same progress,
-            // different range cuts), which a plain sum would double-count.
-            let mut per_point: std::collections::HashMap<usize, (bool, usize)> =
-                std::collections::HashMap::new();
-            for shard in &shards {
-                for (offset, record) in shard.points.iter().enumerate() {
-                    let entry = per_point
-                        .entry(shard.range_start + offset)
-                        .or_insert((false, 0));
-                    entry.0 |= record.complete;
-                    entry.1 = entry.1.max(record.injections_done);
-                }
-            }
-            Some(ProgressStatus {
-                completed_points: per_point.values().filter(|(complete, _)| *complete).count(),
-                // Shards cover claimed ranges only; unclaimed ranges are
-                // invisible without re-deriving the circuit, so this is a
-                // lower bound on the total.
-                total_points: per_point.len(),
-                injections: per_point.values().map(|(_, injections)| injections).sum(),
-                complete: false,
-            })
-        }
-        Err(_) => None,
-    };
-
-    let leases: Vec<LeaseStatus> = lease_files
-        .iter()
-        .filter_map(|info| {
-            let record = info.record.as_ref()?;
-            Some(LeaseStatus {
-                range_start: record.range_start,
-                range_end: record.range_end,
-                worker: record.worker.clone(),
-                expires_in_secs: record.expires_unix as i64 - now as i64,
-                expired: record.is_expired(now),
-            })
-        })
-        .collect();
-
-    // Per-worker rollup across leases and shard provenance.
-    let mut workers: Vec<WorkerStatus> = Vec::new();
-    let worker_entry = |workers: &mut Vec<WorkerStatus>, id: &str| -> usize {
-        match workers.iter().position(|w| w.worker == id) {
-            Some(i) => i,
-            None => {
-                workers.push(WorkerStatus {
-                    worker: id.to_string(),
-                    active_leases: 0,
-                    stale_leases: 0,
-                    shards: 0,
-                    retired_points: 0,
-                });
-                workers.len() - 1
-            }
-        }
-    };
-    for lease in &leases {
-        let i = worker_entry(&mut workers, &lease.worker);
-        if lease.expired {
-            workers[i].stale_leases += 1;
-        } else {
-            workers[i].active_leases += 1;
-        }
-    }
-    for shard in &shards {
-        let i = worker_entry(&mut workers, &shard.worker);
-        workers[i].shards += 1;
-        workers[i].retired_points += shard.completed_points();
-    }
-    workers.sort_by(|a, b| a.worker.cmp(&b.worker));
-
-    // Live rates: telemetry never gates status — a session without logs
-    // (FFR_TELEMETRY=0, or pre-telemetry sessions) just omits the field.
-    let telemetry = crate::stats::CampaignStats::from_session(out)
-        .ok()
-        .and_then(|stats| {
-            let rate = stats.injections_per_sec()?;
-            let eta_secs = progress.as_ref().and_then(|p| {
-                if p.complete || p.completed_points == 0 {
-                    return None;
-                }
-                let per_point = p.injections as f64 / p.completed_points as f64;
-                let remaining = (p.total_points - p.completed_points) as f64;
-                Some((remaining * per_point / rate).round() as u64)
-            });
-            Some(TelemetryStatus {
-                injections_per_sec: (rate * 10.0).round() / 10.0,
-                eta_secs,
-            })
-        });
-
-    let table = paths.table_json(manifest.fault);
-    let report = StatusReport {
-        schema_version: STATUS_SCHEMA_VERSION,
-        session: out.display().to_string(),
-        circuit: manifest.circuit.clone(),
-        fault: manifest.fault.to_string(),
-        seed: manifest.seed,
-        policy: manifest.policy.to_string(),
-        fingerprint: manifest.fingerprint.clone(),
-        progress,
-        workers,
-        complete_shards: shards.iter().filter(|s| s.is_complete()).count(),
-        shard_count: shards.len(),
-        leases,
-        table: table.exists().then(|| table.display().to_string()),
-        telemetry,
-    };
-    Ok((report, manifest.fault))
-}
-
 fn cmd_status(mut args: Args) -> Result<i32, String> {
     let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
     let json = args.present("json")?;
     args.finish()?;
-    let (report, fault) = gather_status(&out)?;
+    let (report, fault) = crate::status::gather_status(&out)?;
     if json {
         println!(
             "{}",
@@ -597,12 +386,12 @@ fn cmd_status(mut args: Args) -> Result<i32, String> {
         None => println!("  progress:    not started"),
     }
     if let Some(t) = &report.telemetry {
-        match t.eta_secs {
-            Some(eta) => println!(
-                "  rate:        {:.1} injections/s (ETA ~{eta} s)",
-                t.injections_per_sec
-            ),
-            None => println!("  rate:        {:.1} injections/s", t.injections_per_sec),
+        match (t.injections_per_sec, t.eta_secs) {
+            (Some(rate), Some(eta)) => {
+                println!("  rate:        {rate:.1} injections/s (ETA ~{eta} s)")
+            }
+            (Some(rate), None) => println!("  rate:        {rate:.1} injections/s"),
+            (None, _) => println!("  rate:        not yet measurable"),
         }
     }
     if report.shard_count > 0 {

@@ -63,7 +63,20 @@
 //! * **The `ffr` CLI** ([`cli`]) — `run --fault {seu,set}`, `resume`,
 //!   `status`, `report`, `estimate`, `stats`, `gc` over named circuits
 //!   ([`spec`]), replacing ad-hoc per-experiment binaries for the core
-//!   campaign flow.
+//!   campaign flow. Status assembly lives in [`status`] as a library
+//!   surface shared with the service.
+//! * **The `ffrd` campaign service** ([`service`]) — a dependency-free
+//!   HTTP/1.1 server (thread pool over `std::net`) that accepts campaign
+//!   submissions as JSON (`POST /campaigns`), exposes their live
+//!   progress (`GET /campaigns/<id>/status`, the `ffr status --json`
+//!   schema) and serves cached estimates (`GET /campaigns/<id>/estimate`)
+//!   while `ffr worker` fleets drain the queued campaigns; the lease
+//!   dispatcher hands out the most expensive remaining ranges first,
+//!   estimated from shard injection counts.
+//! * **Pluggable artifact backends** ([`store::StoreBackend`]) — the
+//!   artifact store reads/writes through a backend trait object
+//!   (local directory today; an object store or DB can land without
+//!   touching callers).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,9 +87,11 @@ pub mod cli;
 pub mod codec;
 pub mod estimate;
 pub mod runner;
+pub mod service;
 pub mod session;
 pub mod spec;
 pub mod stats;
+pub mod status;
 pub mod store;
 pub mod work;
 
@@ -87,10 +102,14 @@ pub use estimate::{
     FfEstimateRow, ModelReport,
 };
 pub use runner::{run_resumable, run_with_source, CancelToken, RunOutcome, RunnerOptions};
+pub use service::{ServiceConfig, ServiceHandle};
 pub use session::{
     CampaignManifest, RunRequest, RunSummary, SessionPaths, WorkerRequest, WorkerSummary,
 };
 pub use spec::{CircuitSpec, PreparedCircuit};
 pub use stats::{CampaignStats, SpanStats, WorkerStats, STATS_SCHEMA_VERSION};
-pub use store::{ArtifactInfo, ArtifactKind, ArtifactStore, GcReport, StoreKey};
+pub use status::{gather_status, StatusReport, STATUS_SCHEMA_VERSION};
+pub use store::{
+    ArtifactInfo, ArtifactKind, ArtifactStore, GcReport, LocalDirBackend, StoreBackend, StoreKey,
+};
 pub use work::{CursorSource, LeaseQueue, LeaseRecord, WorkSource};

@@ -762,6 +762,71 @@ pub fn merge_shards(
     Ok(count)
 }
 
+/// The "same directory, different campaign" refusal shared by every
+/// bootstrap path.
+fn fingerprint_conflict(out_dir: &Path, existing: &str, ours: &str) -> io::Error {
+    io::Error::other(format!(
+        "{} already holds a campaign with different parameters \
+         (fingerprint {existing} vs {ours}); use a fresh campaign directory",
+        out_dir.display()
+    ))
+}
+
+/// Prepare a campaign directory for `request`: validate the request,
+/// create the directory and publish the manifest — or adopt an existing
+/// manifest if it describes the *same* campaign (same fingerprint).
+///
+/// This is the single campaign-bootstrap primitive shared by `ffr worker
+/// --circuit …` and the `ffrd` service's `POST /campaigns` handler.
+/// Concurrent initializers race benignly: exactly one wins the
+/// create-exclusive publish, and losers adopt the winner's manifest
+/// (which is byte-identical when the parameters agree).
+///
+/// # Errors
+///
+/// Fails on I/O errors, an invalid request, or an existing manifest with
+/// a different fingerprint.
+pub fn prepare_campaign(request: &RunRequest, out_dir: &Path) -> io::Result<CampaignManifest> {
+    validate_request(request)?;
+    let paths = SessionPaths::new(out_dir);
+    let prepared = request.circuit.prepare(request.stim_seed, request.cycles);
+    let manifest = manifest_for(request, &campaign_table_key(request, &prepared));
+    match CampaignManifest::load(&paths.manifest()) {
+        Ok(existing) => {
+            if existing.fingerprint != manifest.fingerprint {
+                return Err(fingerprint_conflict(
+                    out_dir,
+                    &existing.fingerprint,
+                    &manifest.fingerprint,
+                ));
+            }
+            Ok(existing)
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            std::fs::create_dir_all(out_dir)?;
+            let json = serde_json::to_string_pretty(&manifest).map_err(io::Error::other)?;
+            // Exactly one bootstrapper wins (create-exclusive); losers
+            // adopt the winner's manifest — and are refused here if their
+            // parameters describe a different campaign, instead of
+            // silently mixing two campaigns' shards in one directory.
+            if crate::store::create_exclusive(&paths.manifest(), &json)? {
+                Ok(manifest)
+            } else {
+                let existing = CampaignManifest::load(&paths.manifest())?;
+                if existing.fingerprint != manifest.fingerprint {
+                    return Err(fingerprint_conflict(
+                        out_dir,
+                        &existing.fingerprint,
+                        &manifest.fingerprint,
+                    ));
+                }
+                Ok(existing)
+            }
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// How long a worker without bootstrap flags waits for a sibling
 /// bootstrapper to publish the campaign manifest before giving up.
 const BOOTSTRAP_WAIT: Duration = Duration::from_secs(15);
@@ -854,56 +919,21 @@ pub fn worker(
     progress: impl Fn(usize, usize) + Sync,
 ) -> io::Result<WorkerSummary> {
     let paths = SessionPaths::new(out_dir);
-    let conflict = |existing: &str, ours: &str| {
-        io::Error::other(format!(
-            "{} already holds a campaign with different parameters \
-             (fingerprint {existing} vs {ours}); use a fresh --campaign directory",
-            out_dir.display()
-        ))
-    };
     // The manifest is the shared campaign definition: an existing one
-    // wins; otherwise the worker's own campaign flags bootstrap it.
-    let manifest = match CampaignManifest::load(&paths.manifest()) {
-        Ok(existing) => {
-            if let Some(init) = &request.init {
-                validate_request(init)?;
-                let prepared = init.circuit.prepare(init.stim_seed, init.cycles);
-                let key = campaign_table_key(init, &prepared).to_string();
-                if existing.fingerprint != key {
-                    return Err(conflict(&existing.fingerprint, &key));
-                }
-            }
-            existing
-        }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => match &request.init {
-            Some(init) => {
-                validate_request(init)?;
-                std::fs::create_dir_all(out_dir)?;
-                let prepared = init.circuit.prepare(init.stim_seed, init.cycles);
-                let manifest = manifest_for(init, &campaign_table_key(init, &prepared));
-                let json = serde_json::to_string_pretty(&manifest).map_err(io::Error::other)?;
-                // Exactly one bootstrapper wins (create-exclusive);
-                // losers adopt the winner's manifest — and are refused
-                // here if their flags describe a different campaign,
-                // instead of silently mixing two campaigns' shards in
-                // one directory.
-                if crate::store::create_exclusive(&paths.manifest(), &json)? {
-                    manifest
-                } else {
-                    let existing = CampaignManifest::load(&paths.manifest())?;
-                    if existing.fingerprint != manifest.fingerprint {
-                        return Err(conflict(&existing.fingerprint, &manifest.fingerprint));
-                    }
-                    existing
-                }
-            }
-            None => {
-                // A sibling worker launched with bootstrap flags may
-                // still be preparing its circuit (seconds at paper
-                // scale) before the manifest lands; wait briefly rather
-                // than abandoning the fleet. A bootstrapper creates the
-                // campaign directory before that slow preparation, so a
-                // missing directory means nobody is coming — fail fast.
+    // wins; otherwise the worker's own campaign flags bootstrap it
+    // through the same primitive the `ffrd` service uses.
+    let manifest = match &request.init {
+        Some(init) => prepare_campaign(init, out_dir)?,
+        None => match CampaignManifest::load(&paths.manifest()) {
+            Ok(existing) => existing,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // A sibling worker launched with bootstrap flags (or the
+                // service) may still be preparing its circuit (seconds
+                // at paper scale) before the manifest lands; wait
+                // briefly rather than abandoning the fleet. A
+                // bootstrapper creates the campaign directory before
+                // that slow preparation, so a missing directory means
+                // nobody is coming — fail fast.
                 let deadline = std::time::Instant::now() + BOOTSTRAP_WAIT;
                 loop {
                     if cancel.is_cancelled()
@@ -924,8 +954,8 @@ pub fn worker(
                     }
                 }
             }
+            Err(e) => return Err(e),
         },
-        Err(e) => return Err(e),
     };
 
     let circuit: CircuitSpec = manifest.circuit.parse().map_err(io::Error::other)?;

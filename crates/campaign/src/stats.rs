@@ -10,6 +10,17 @@
 //! A SIGKILLed writer leaves at most one truncated final line in its log;
 //! unparseable lines are counted in [`CampaignStats::skipped_lines`] and
 //! otherwise ignored — they are never fatal.
+//!
+//! # Schema note: rates are nullable, never `NaN`/`inf`
+//!
+//! Derived rates ([`WorkerStats::injections_per_sec`],
+//! [`CampaignStats::injections_per_sec`]) return `Option<f64>` and
+//! serialize as a JSON number **or `null`** — never `NaN`/`inf`, which
+//! are not JSON. A rate is null while it is unknowable: zero injections
+//! or zero measured time so far (a worker SIGKILLed before its first
+//! span flush, or a campaign served entirely from cache). The `ffr
+//! status --json` telemetry block follows the same convention (see
+//! [`crate::status`]).
 
 use std::collections::BTreeMap;
 use std::io;
@@ -612,6 +623,36 @@ mod tests {
         let stats = CampaignStats::from_dir(&tmp_dir("missing")).unwrap();
         assert!(stats.is_empty());
         assert!(stats.render_text().contains("no telemetry"));
+    }
+
+    #[test]
+    fn zero_duration_rates_serialize_as_null_never_nan() {
+        // Every degenerate (injections, measure_us) combination an
+        // interrupted worker can leave behind: the rate must clamp to
+        // None and the JSON document must stay parseable, with no
+        // NaN/inf leaking through (satellite of the status schema v2
+        // fix — see the module docs).
+        for (injections, measure_us) in [(0, 0), (512, 0), (0, 2_000_000)] {
+            let stats = CampaignStats {
+                workers: vec![WorkerStats {
+                    worker: "w1".to_string(),
+                    injections,
+                    measure_us,
+                    ..WorkerStats::default()
+                }],
+                ..CampaignStats::default()
+            };
+            assert_eq!(
+                stats.injections_per_sec(),
+                None,
+                "{injections}/{measure_us}"
+            );
+            assert_eq!(stats.workers[0].injections_per_sec(), None);
+            let json = stats.to_json();
+            assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
+            assert!(json.contains("\"injections_per_sec\": null"), "{json}");
+            serde_json::parse_value_complete(&json).expect("valid JSON");
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::SystemTime;
 
 /// Version-1 envelope: plain JSON payload.
@@ -240,6 +241,158 @@ impl fmt::Display for ArtifactKind {
     }
 }
 
+/// One entry of a backend directory listing ([`StoreBackend::list_dir`]).
+///
+/// Includes temp files (`.tmp` in the name): [`ArtifactStore::gc`] needs
+/// to see them to sweep crashed writers' leftovers.
+#[derive(Debug, Clone)]
+pub struct BackendEntry {
+    /// File name within the kind directory.
+    pub file_name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Last modification time, when the backend tracks one.
+    pub modified: Option<SystemTime>,
+}
+
+/// Where artifact bytes live: the storage primitive behind
+/// [`ArtifactStore`].
+///
+/// The store owns everything content-addressed — envelope format, keys,
+/// compression, cache-miss semantics — and reduces it to six flat-file
+/// operations on `(dir, file)` pairs (`dir` is an
+/// [`ArtifactKind::dir_name`]). A backend only moves strings, so an
+/// object store or database backend can land behind this trait without
+/// touching any store caller. The default is [`LocalDirBackend`].
+///
+/// Implementations must be thread-safe ([`Send`] + [`Sync`]): one store
+/// handle is shared across runner threads.
+pub trait StoreBackend: Send + Sync + fmt::Debug {
+    /// Human-readable identity of the backend (shown in diagnostics).
+    fn describe(&self) -> String;
+
+    /// Read a file's contents, or `None` if it does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures other than "not found".
+    fn read(&self, dir: &str, file: &str) -> io::Result<Option<String>>;
+
+    /// Durably write a file (atomically replacing any previous version),
+    /// creating the directory as needed. Returns the path the artifact is
+    /// addressable under (a real filesystem path for the local backend, a
+    /// synthetic `<describe>/<dir>/<file>` path otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn write(&self, dir: &str, file: &str, contents: &str) -> io::Result<PathBuf>;
+
+    /// `true` if the file exists.
+    fn exists(&self, dir: &str, file: &str) -> bool;
+
+    /// Enumerate a directory (missing directories are empty, temp files
+    /// included — see [`BackendEntry`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn list_dir(&self, dir: &str) -> io::Result<Vec<BackendEntry>>;
+
+    /// Delete a file (deleting a missing file is not an error).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn remove(&self, dir: &str, file: &str) -> io::Result<()>;
+}
+
+/// The default [`StoreBackend`]: flat files under a root directory, with
+/// atomic-rename writes ([`atomic_write`]) so readers never observe torn
+/// artifacts. This is byte-for-byte the store layout that predates the
+/// backend trait — existing stores read back unchanged.
+#[derive(Debug)]
+pub struct LocalDirBackend {
+    root: PathBuf,
+}
+
+impl LocalDirBackend {
+    /// Open (creating if needed) a backend rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn create(root: impl Into<PathBuf>) -> io::Result<LocalDirBackend> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(LocalDirBackend { root })
+    }
+
+    /// The backend's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, dir: &str, file: &str) -> PathBuf {
+        self.root.join(dir).join(file)
+    }
+}
+
+impl StoreBackend for LocalDirBackend {
+    fn describe(&self) -> String {
+        format!("dir:{}", self.root.display())
+    }
+
+    fn read(&self, dir: &str, file: &str) -> io::Result<Option<String>> {
+        match std::fs::read_to_string(self.path(dir, file)) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write(&self, dir: &str, file: &str, contents: &str) -> io::Result<PathBuf> {
+        let path = self.path(dir, file);
+        std::fs::create_dir_all(path.parent().expect("artifact path has a parent"))?;
+        atomic_write(&path, contents)?;
+        Ok(path)
+    }
+
+    fn exists(&self, dir: &str, file: &str) -> bool {
+        self.path(dir, file).is_file()
+    }
+
+    fn list_dir(&self, dir: &str) -> io::Result<Vec<BackendEntry>> {
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(self.root.join(dir)) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let meta = entry.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
+            out.push(BackendEntry {
+                file_name: entry.file_name().to_string_lossy().into_owned(),
+                bytes: meta.len(),
+                modified: meta.modified().ok(),
+            });
+        }
+        Ok(out)
+    }
+
+    fn remove(&self, dir: &str, file: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.path(dir, file)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 /// Metadata of one stored artifact (from [`ArtifactStore::list`]).
 #[derive(Debug, Clone)]
 pub struct ArtifactInfo {
@@ -291,23 +444,43 @@ pub struct GcReport {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
+    backend: Arc<dyn StoreBackend>,
     root: PathBuf,
     recorder: ffr_obs::Recorder,
 }
 
 impl ArtifactStore {
-    /// Open (creating if needed) a store rooted at `root`.
+    /// Open (creating if needed) a store rooted at `root`, backed by the
+    /// local filesystem ([`LocalDirBackend`]).
     ///
     /// # Errors
     ///
     /// Propagates directory-creation failures.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
         let root = root.into();
-        std::fs::create_dir_all(&root)?;
+        let backend = LocalDirBackend::create(&root)?;
         Ok(ArtifactStore {
+            backend: Arc::new(backend),
             root,
             recorder: ffr_obs::Recorder::disabled(),
         })
+    }
+
+    /// Open a store over an arbitrary [`StoreBackend`]. Everything above
+    /// the byte level — envelopes, keys, compression, gc policy — is
+    /// identical across backends; `nominal_root` is the path artifacts
+    /// are *reported* under ([`ArtifactStore::root`],
+    /// [`ArtifactInfo::path`]) for backends with no real filesystem
+    /// location.
+    pub fn with_backend(
+        backend: Arc<dyn StoreBackend>,
+        nominal_root: impl Into<PathBuf>,
+    ) -> ArtifactStore {
+        ArtifactStore {
+            backend,
+            root: nominal_root.into(),
+            recorder: ffr_obs::Recorder::disabled(),
+        }
     }
 
     /// Attach a telemetry recorder: subsequent [`ArtifactStore::put`] /
@@ -319,18 +492,23 @@ impl ArtifactStore {
         self
     }
 
-    /// The store's root directory.
+    /// The store's root directory (nominal for non-filesystem backends).
     pub fn root(&self) -> &Path {
         &self.root
     }
 
-    fn path_of(&self, kind: ArtifactKind, key: &StoreKey) -> PathBuf {
-        self.root.join(kind.dir_name()).join(format!("{key}.json"))
+    /// The backend artifact bytes are stored in.
+    pub fn backend(&self) -> &Arc<dyn StoreBackend> {
+        &self.backend
+    }
+
+    fn file_of(key: &StoreKey) -> String {
+        format!("{key}.json")
     }
 
     /// `true` if an artifact exists for `(kind, key)`.
     pub fn contains(&self, kind: ArtifactKind, key: &StoreKey) -> bool {
-        self.path_of(kind, key).is_file()
+        self.backend.exists(kind.dir_name(), &Self::file_of(key))
     }
 
     /// Store an artifact, atomically replacing any previous version.
@@ -373,9 +551,9 @@ impl ArtifactStore {
             ])
         };
         let text = serde_json::to_string(&ValueWrap(&envelope)).expect("envelope serializes");
-        let path = self.path_of(kind, key);
-        std::fs::create_dir_all(path.parent().expect("artifact path has a parent"))?;
-        atomic_write(&path, &text)?;
+        let path = self
+            .backend
+            .write(kind.dir_name(), &Self::file_of(key), &text)?;
         if self.recorder.enabled() {
             self.recorder.count("store.puts", 1);
             self.recorder.count("store.put_bytes", text.len() as u64);
@@ -418,11 +596,8 @@ impl ArtifactStore {
         kind: ArtifactKind,
         key: &StoreKey,
     ) -> io::Result<Option<T>> {
-        let path = self.path_of(kind, key);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
+        let Some(text) = self.backend.read(kind.dir_name(), &Self::file_of(key))? else {
+            return Ok(None);
         };
         self.recorder.count("store.get_bytes", text.len() as u64);
         let Ok(envelope) = serde_json::parse_value_complete(&text) else {
@@ -481,26 +656,16 @@ impl ArtifactStore {
     pub fn list(&self) -> io::Result<Vec<ArtifactInfo>> {
         let mut out = Vec::new();
         for kind in ArtifactKind::ALL {
-            let dir = self.root.join(kind.dir_name());
-            let entries = match std::fs::read_dir(&dir) {
-                Ok(e) => e,
-                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
-                Err(e) => return Err(e),
-            };
-            for entry in entries {
-                let entry = entry?;
-                let path = entry.path();
-                let file_name = entry.file_name().to_string_lossy().into_owned();
-                if !file_name.ends_with(".json") {
+            for entry in self.backend.list_dir(kind.dir_name())? {
+                if !entry.file_name.ends_with(".json") {
                     continue;
                 }
-                let meta = entry.metadata()?;
                 out.push(ArtifactInfo {
                     kind,
-                    file_name,
-                    path,
-                    bytes: meta.len(),
-                    modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                    path: self.root.join(kind.dir_name()).join(&entry.file_name),
+                    bytes: entry.bytes,
+                    modified: entry.modified.unwrap_or(SystemTime::UNIX_EPOCH),
+                    file_name: entry.file_name,
                 });
             }
         }
@@ -522,20 +687,10 @@ impl ArtifactStore {
         let now = SystemTime::now();
         let mut report = GcReport::default();
         for kind in ArtifactKind::ALL {
-            let dir = self.root.join(kind.dir_name());
-            let entries = match std::fs::read_dir(&dir) {
-                Ok(e) => e,
-                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
-                Err(e) => return Err(e),
-            };
-            for entry in entries {
-                let entry = entry?;
-                let path = entry.path();
-                let name = entry.file_name().to_string_lossy().into_owned();
-                let meta = entry.metadata()?;
+            for entry in self.backend.list_dir(kind.dir_name())? {
                 let older_than = |age: std::time::Duration| {
-                    meta.modified()
-                        .ok()
+                    entry
+                        .modified
                         .and_then(|m| now.duration_since(m).ok())
                         .is_some_and(|elapsed| elapsed > age)
                 };
@@ -543,7 +698,7 @@ impl ArtifactStore {
                 // a concurrent writer mid-`atomic_write`; leave it alone.
                 // Matches both the legacy `foo.json.tmp` suffix and the
                 // current unique `foo.json.tmp.<pid>.<seq>` names.
-                let is_tmp = name.contains(".tmp");
+                let is_tmp = entry.file_name.contains(".tmp");
                 if is_tmp && !older_than(TMP_GRACE) {
                     report.kept += 1;
                     continue;
@@ -553,9 +708,9 @@ impl ArtifactStore {
                     Some(age) => older_than(age),
                 };
                 if is_tmp || expired {
-                    std::fs::remove_file(&path)?;
+                    self.backend.remove(kind.dir_name(), &entry.file_name)?;
                     report.removed += 1;
-                    report.reclaimed_bytes += meta.len();
+                    report.reclaimed_bytes += entry.bytes;
                 } else {
                     report.kept += 1;
                 }
@@ -825,6 +980,101 @@ mod tests {
         assert_eq!(report.removed, 1, "only the real artifact is swept");
         assert_eq!(report.kept, 1);
         assert!(stale.exists());
+    }
+
+    /// A `StoreBackend` with no filesystem at all: artifact bytes in a
+    /// shared map. Exercises the trait-object path end to end — what an
+    /// object-store/DB backend would implement.
+    #[derive(Debug, Default)]
+    struct MemBackend {
+        files: std::sync::Mutex<std::collections::BTreeMap<(String, String), String>>,
+    }
+
+    impl StoreBackend for MemBackend {
+        fn describe(&self) -> String {
+            "mem".into()
+        }
+        fn read(&self, dir: &str, file: &str) -> io::Result<Option<String>> {
+            Ok(self
+                .files
+                .lock()
+                .unwrap()
+                .get(&(dir.into(), file.into()))
+                .cloned())
+        }
+        fn write(&self, dir: &str, file: &str, contents: &str) -> io::Result<PathBuf> {
+            self.files
+                .lock()
+                .unwrap()
+                .insert((dir.into(), file.into()), contents.into());
+            Ok(PathBuf::from(format!("mem/{dir}/{file}")))
+        }
+        fn exists(&self, dir: &str, file: &str) -> bool {
+            self.files
+                .lock()
+                .unwrap()
+                .contains_key(&(dir.into(), file.into()))
+        }
+        fn list_dir(&self, dir: &str) -> io::Result<Vec<BackendEntry>> {
+            Ok(self
+                .files
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|((d, _), _)| d == dir)
+                .map(|((_, f), contents)| BackendEntry {
+                    file_name: f.clone(),
+                    bytes: contents.len() as u64,
+                    modified: None,
+                })
+                .collect())
+        }
+        fn remove(&self, dir: &str, file: &str) -> io::Result<()> {
+            self.files
+                .lock()
+                .unwrap()
+                .remove(&(dir.into(), file.into()));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn in_memory_backend_round_trips_through_the_trait_object() {
+        let store = ArtifactStore::with_backend(Arc::new(MemBackend::default()), "mem");
+        let data: Vec<u64> = (0..512).map(|i| i * 3).collect();
+
+        // Plain v1 kind and compressed v2 kind both round-trip.
+        assert!(!store.contains(ArtifactKind::FdrTable, &key()));
+        store.put(ArtifactKind::FdrTable, &key(), &data).unwrap();
+        store.put(ArtifactKind::GoldenRun, &key(), &data).unwrap();
+        assert!(store.contains(ArtifactKind::FdrTable, &key()));
+        let fdr: Option<Vec<u64>> = store.get(ArtifactKind::FdrTable, &key()).unwrap();
+        let golden: Option<Vec<u64>> = store.get(ArtifactKind::GoldenRun, &key()).unwrap();
+        assert_eq!(fdr, Some(data.clone()));
+        assert_eq!(golden, Some(data.clone()));
+
+        // Envelope bytes are identical across backends: the store, not
+        // the backend, owns the format.
+        let local = tmp_store("backend_parity");
+        let local_path = local.put(ArtifactKind::GoldenRun, &key(), &data).unwrap();
+        let local_bytes = std::fs::read_to_string(local_path).unwrap();
+        let mem_bytes = store
+            .backend()
+            .read(
+                ArtifactKind::GoldenRun.dir_name(),
+                &format!("{}.json", key()),
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(local_bytes, mem_bytes);
+
+        // list + unconditional gc work without real files.
+        assert_eq!(store.list().unwrap().len(), 2);
+        let report = store.gc(None).unwrap();
+        assert_eq!(report.removed, 2);
+        assert!(store.list().unwrap().is_empty());
+        let miss: Option<Vec<u64>> = store.get(ArtifactKind::FdrTable, &key()).unwrap();
+        assert_eq!(miss, None);
     }
 
     #[test]

@@ -172,10 +172,46 @@ impl LeaseRecord {
         self.range_start..self.range_end
     }
 
-    /// `true` once the lease's expiry has passed.
+    /// The TTL the lease was written with, recovered from its stamps.
+    ///
+    /// Both stamps come from the *holder's* clock, so their difference is
+    /// meaningful even when that clock disagrees with ours — unlike
+    /// either stamp on its own.
+    pub fn ttl(&self) -> Duration {
+        Duration::from_secs(self.expires_unix.saturating_sub(self.acquired_unix).max(1))
+    }
+
+    /// `true` once the lease's expiry stamp has passed `now_unix`.
+    ///
+    /// **Diagnostic only.** The stamps were written by the holder's clock
+    /// and `now_unix` comes from ours; across hosts with skewed clocks
+    /// this misclassifies live leases as expired (and vice versa).
+    /// Reclaim decisions use [`LeaseRecord::expired_by_age`] instead,
+    /// which only compares durations observed on the local filesystem.
     pub fn is_expired(&self, now_unix: u64) -> bool {
         now_unix > self.expires_unix
     }
+
+    /// `true` once the lease file has gone longer than its TTL without a
+    /// rewrite, judged by `modified` (the file's mtime on the shared
+    /// filesystem) against the local clock.
+    ///
+    /// A live holder heartbeats — atomically rewrites — its lease every
+    /// ttl/3, refreshing the mtime; a file whose observed age exceeds the
+    /// TTL therefore has no live writer, regardless of what either host's
+    /// wall clock says. An un-computable age (mtime in the future after a
+    /// clock step) counts as *not* expired: waiting out a dead lease is
+    /// cheap, stealing a live one costs duplicated work.
+    pub fn expired_by_age(&self, modified: SystemTime) -> bool {
+        observed_age(modified).is_some_and(|age| age > self.ttl())
+    }
+}
+
+/// Age of a file with mtime `modified` per the local clock, or `None`
+/// when the mtime is in the future (a clock step backwards since the
+/// write, or a skewed NFS server stamp) and no age can be computed.
+pub(crate) fn observed_age(modified: SystemTime) -> Option<Duration> {
+    SystemTime::now().duration_since(modified).ok()
 }
 
 /// Seconds since the Unix epoch.
@@ -294,19 +330,23 @@ pub fn list_shards(shards_dir: &Path) -> io::Result<Vec<ShardCheckpoint>> {
 /// which no live writer can still be producing); returns
 /// `(removed, kept)`. Used by `ffr gc --campaign`.
 ///
+/// Expiry is judged by **observed file age** (mtime vs. the local
+/// clock), not by the unix stamps inside the record: the stamps were
+/// written by the holder's clock, which may be skewed arbitrarily
+/// against ours. An un-computable age — a future mtime after a clock
+/// step backwards — keeps the file; a kept dead lease costs one more
+/// sweep, a deleted live one costs duplicated work.
+///
 /// # Errors
 ///
 /// Propagates I/O failures.
 pub fn sweep_expired_leases(leases_dir: &Path) -> io::Result<(usize, usize)> {
-    let now = unix_now();
     let mut removed = 0;
     let mut kept = 0;
     for info in list_leases(leases_dir)? {
         let expired = match &info.record {
-            Some(record) => record.is_expired(now),
-            None => SystemTime::now()
-                .duration_since(info.modified)
-                .is_ok_and(|age| age > Duration::from_secs(3600)),
+            Some(record) => record.expired_by_age(info.modified),
+            None => observed_age(info.modified).is_some_and(|age| age > Duration::from_secs(3600)),
         };
         if expired {
             match std::fs::remove_file(&info.path) {
@@ -459,6 +499,60 @@ impl LeaseQueue {
         }
     }
 
+    /// The order in which [`LeaseQueue::claim`] probes ranges: most
+    /// expensive estimated remaining work first, ties broken by ascending
+    /// index (which makes the no-information case identical to plain
+    /// index order).
+    ///
+    /// Cost model: the campaign-wide mean injections per **completed**
+    /// point — observed from the shards on disk, 1 until anything has
+    /// completed — prices a point; a range's remaining cost sums that
+    /// price over its incomplete points, discounted by injections already
+    /// done. Adaptive (Wilson) stopping makes per-point cost vary by an
+    /// order of magnitude, so leasing expensive ranges first shortens the
+    /// tail of a heterogeneous fleet. The estimate only changes *who*
+    /// computes a range, never what it computes, so final tables stay
+    /// byte-identical.
+    fn claim_order(&self) -> Vec<(usize, u64)> {
+        let shards: Vec<ShardCheckpoint> = list_shards(&self.shards_dir)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|s| s.fingerprint == self.fingerprint)
+            .collect();
+        let (mut done_injections, mut done_points) = (0u64, 0u64);
+        for shard in &shards {
+            for point in shard.points.iter().filter(|p| p.complete) {
+                done_injections += point.injections_done as u64;
+                done_points += 1;
+            }
+        }
+        let avg = done_injections
+            .checked_div(done_points)
+            .map_or(1, |per_point| per_point.max(1));
+        let mut order: Vec<(usize, u64)> = self
+            .ranges
+            .iter()
+            .enumerate()
+            .map(|(index, range)| {
+                let shard = shards
+                    .iter()
+                    .find(|s| s.range_start == range.start && s.range_end == range.end);
+                let cost = match shard {
+                    Some(shard) => shard
+                        .points
+                        .iter()
+                        .filter(|p| !p.complete)
+                        .map(|p| avg.saturating_sub(p.injections_done as u64).max(1))
+                        .sum(),
+                    None => range.len() as u64 * avg,
+                };
+                (index, cost)
+            })
+            .collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        order
+    }
+
     /// `true` if the range's shard on disk is complete. Pure file check;
     /// the caller (holding the state lock) caches positives.
     fn shard_complete_on_disk(&self, index: usize) -> bool {
@@ -469,24 +563,41 @@ impl LeaseQueue {
     }
 
     /// How range `index`'s lease file looks on disk right now.
+    ///
+    /// All liveness decisions here are **observed-age** decisions: the
+    /// file's mtime against the local clock. The unix stamps inside the
+    /// record were written by the holder's clock and are diagnostics only
+    /// — comparing them against our clock would let a skewed worker steal
+    /// live leases (or never reclaim dead ones). Heartbeats atomically
+    /// rewrite the lease every ttl/3, so a live holder's file is always
+    /// younger than its TTL on every host that can see it.
     fn lease_on_disk(&self, index: usize) -> LeaseOnDisk {
         let path = self.lease_path(index);
         let Ok(text) = std::fs::read_to_string(&path) else {
             return LeaseOnDisk::Absent;
         };
+        // Metadata read after the content read: a concurrent heartbeat
+        // can only make the file *younger*, which errs toward Live.
+        let modified = std::fs::metadata(&path).and_then(|m| m.modified());
         match serde_json::from_str::<LeaseRecord>(&text) {
-            Ok(record) if record.is_expired(unix_now()) => LeaseOnDisk::Reclaimable,
+            Ok(record) if modified.as_ref().is_ok_and(|&m| record.expired_by_age(m)) => {
+                LeaseOnDisk::Reclaimable
+            }
             // Our own worker id without a held entry is either a stale
             // lease of a crashed previous incarnation (reclaim fast) or a
             // live process that was misconfigured to share our id (don't
             // perpetually steal). The two are distinguished by heartbeat
-            // recency: a live holder refreshes `acquired_unix` every
-            // ttl/3, so a lease that has gone more than ttl/2 without a
-            // refresh has no live holder. (claim() never reaches here for
-            // ranges held by sibling threads of this process.)
+            // recency: a live holder rewrites its lease every ttl/3, so a
+            // file that has gone more than ttl/2 without an mtime refresh
+            // has no live holder. (claim() never reaches here for ranges
+            // held by sibling threads of this process.)
             Ok(record) if record.worker == self.worker => {
-                let grace = (self.ttl.as_secs() / 2).max(1);
-                if unix_now() > record.acquired_unix + grace {
+                let grace = Duration::from_secs((self.ttl.as_secs() / 2).max(1));
+                let stale = modified
+                    .ok()
+                    .and_then(observed_age)
+                    .is_some_and(|age| age > grace);
+                if stale {
                     LeaseOnDisk::Reclaimable
                 } else {
                     LeaseOnDisk::Live
@@ -494,12 +605,12 @@ impl LeaseQueue {
             }
             Ok(_) => LeaseOnDisk::Live,
             // Unreadable: reclaim only once it is old enough that no live
-            // writer can still be producing it; until then wait it out.
+            // writer can still be producing it; until then (including an
+            // un-computable age from a future mtime) wait it out.
             Err(_) => {
-                let old = std::fs::metadata(&path)
-                    .and_then(|m| m.modified())
+                let old = modified
                     .ok()
-                    .and_then(|m| SystemTime::now().duration_since(m).ok())
+                    .and_then(observed_age)
                     .is_some_and(|age| age > self.ttl);
                 if old {
                     LeaseOnDisk::Reclaimable
@@ -519,7 +630,13 @@ impl LeaseQueue {
     /// Cross-process races remain and are benign: losing `create_exclusive`
     /// is a clean miss, and the rare double-claim through a reclaim
     /// interleaving only duplicates deterministic work.
-    fn acquire(&self, index: usize, state: &mut QueueState, reclaim: bool) -> io::Result<bool> {
+    fn acquire(
+        &self,
+        index: usize,
+        state: &mut QueueState,
+        reclaim: bool,
+        est_cost: u64,
+    ) -> io::Result<bool> {
         let path = self.lease_path(index);
         if reclaim {
             match std::fs::remove_file(&path) {
@@ -542,6 +659,7 @@ impl LeaseQueue {
                 &[
                     ("range_start", self.ranges[index].start.into()),
                     ("range_end", self.ranges[index].end.into()),
+                    ("est_cost", est_cost.into()),
                     (
                         "queue_depth",
                         (self.ranges.len() - state.complete.len()).into(),
@@ -670,13 +788,18 @@ impl WorkSource for LeaseQueue {
     /// The scan is cheap while blocked: ranges under a live lease are
     /// skipped on the lease probe alone (no shard parsing), and complete
     /// shards are parsed at most once (cached positives).
+    ///
+    /// Ranges are probed **most expensive first** (see
+    /// `LeaseQueue::claim_order`): under adaptive stopping per-range
+    /// cost varies wildly, and starting the big ranges early keeps a
+    /// heterogeneous fleet from idling behind one straggler at the end.
     fn claim(&self) -> io::Result<Vec<usize>> {
         loop {
             if self.cancel.is_cancelled() {
                 return Ok(Vec::new());
             }
             let mut outstanding = false;
-            for index in 0..self.ranges.len() {
+            for &(index, est_cost) in &self.claim_order() {
                 let mut state = self.state.lock().expect("queue lock");
                 if state.complete.contains(&index) {
                     continue;
@@ -709,13 +832,13 @@ impl WorkSource for LeaseQueue {
                             continue;
                         }
                         outstanding = true;
-                        if self.acquire(index, &mut state, false)? {
+                        if self.acquire(index, &mut state, false, est_cost)? {
                             return Ok(self.ranges[index].clone().collect());
                         }
                     }
                     LeaseOnDisk::Reclaimable => {
                         outstanding = true;
-                        if self.acquire(index, &mut state, true)? {
+                        if self.acquire(index, &mut state, true, est_cost)? {
                             return Ok(self.ranges[index].clone().collect());
                         }
                     }
@@ -958,7 +1081,7 @@ mod tests {
         {
             let mut state = rival.state.lock().unwrap();
             assert!(
-                !rival.acquire(0, &mut state, false).unwrap(),
+                !rival.acquire(0, &mut state, false, 0).unwrap(),
                 "live lease must hold"
             );
         }
@@ -976,7 +1099,129 @@ mod tests {
         holder.release_held();
         assert!(matches!(rival.lease_on_disk(0), LeaseOnDisk::Absent));
         let mut state = rival.state.lock().unwrap();
-        assert!(rival.acquire(0, &mut state, false).unwrap());
+        assert!(rival.acquire(0, &mut state, false, 0).unwrap());
+    }
+
+    /// Rewrite a file's mtime (the observed-age clock leases live by).
+    fn set_mtime(path: &Path, to: SystemTime) {
+        let file = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+        file.set_times(std::fs::FileTimes::new().set_modified(to))
+            .unwrap();
+    }
+
+    fn raw_lease(worker: &str, acquired_unix: u64, expires_unix: u64) -> String {
+        serde_json::to_string_pretty(&LeaseRecord {
+            version: LEASE_VERSION,
+            fingerprint: "fp".into(),
+            worker: worker.into(),
+            range_start: 0,
+            range_end: 4,
+            acquired_unix,
+            expires_unix,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn skewed_clock_stamps_never_steal_a_live_lease() {
+        // The holder's clock is hours *behind* ours: its stamps look
+        // long-expired, but the file itself is fresh (it is being
+        // heartbeaten right now). Stamp comparison would steal the live
+        // lease; observed age must not.
+        let dir = tmp_dir("skew_live");
+        let q = queue(&dir, "local", 4, 4, Duration::from_secs(60));
+        let now = unix_now();
+        let path = dir.join("leases").join(lease_file_name(&(0..4)));
+        std::fs::write(&path, raw_lease("remote", now - 9_000, now - 8_940)).unwrap();
+        assert!(
+            matches!(q.lease_on_disk(0), LeaseOnDisk::Live),
+            "fresh file with stamp-expired record must stay live"
+        );
+        assert_eq!(
+            sweep_expired_leases(&dir.join("leases")).unwrap(),
+            (0, 1),
+            "gc must keep it too"
+        );
+    }
+
+    #[test]
+    fn dead_lease_with_future_stamps_is_reclaimed_by_age() {
+        // The dead holder's clock was hours *ahead* of ours: its expiry
+        // stamp never passes our clock, so stamp comparison would wait
+        // forever. The file has gone far longer than its TTL (60s,
+        // recovered from the stamps themselves) without a heartbeat —
+        // observed age reclaims it.
+        let dir = tmp_dir("skew_dead");
+        let q = queue(&dir, "local", 4, 4, Duration::from_secs(60));
+        let now = unix_now();
+        let path = dir.join("leases").join(lease_file_name(&(0..4)));
+        std::fs::write(&path, raw_lease("remote", now + 50_000, now + 50_060)).unwrap();
+        set_mtime(&path, SystemTime::now() - Duration::from_secs(600));
+        assert!(
+            matches!(q.lease_on_disk(0), LeaseOnDisk::Reclaimable),
+            "stale file must be reclaimable despite future stamps"
+        );
+        assert_eq!(sweep_expired_leases(&dir.join("leases")).unwrap(), (1, 0));
+    }
+
+    #[test]
+    fn future_mtime_is_an_uncomputable_age_and_never_expires() {
+        // A clock step backwards leaves files with mtimes in our future;
+        // `duration_since` fails and no age can be computed. Both the
+        // claim path and the gc sweep must treat that as not-expired —
+        // for unreadable garbage and for readable records alike.
+        let dir = tmp_dir("future_mtime");
+        let q = queue(&dir, "local", 8, 4, Duration::from_secs(1));
+        let future = SystemTime::now() + Duration::from_secs(7_200);
+        let garbage = dir.join("leases").join(lease_file_name(&(0..4)));
+        std::fs::write(&garbage, "not json").unwrap();
+        set_mtime(&garbage, future);
+        let readable = dir.join("leases").join(lease_file_name(&(4..8)));
+        std::fs::write(&readable, raw_lease("remote", 1, 2)).unwrap();
+        set_mtime(&readable, future);
+        assert!(matches!(q.lease_on_disk(0), LeaseOnDisk::Live));
+        assert!(matches!(q.lease_on_disk(1), LeaseOnDisk::Live));
+        assert_eq!(
+            sweep_expired_leases(&dir.join("leases")).unwrap(),
+            (0, 2),
+            "un-computable ages must be kept"
+        );
+    }
+
+    #[test]
+    fn claim_prefers_the_most_expensive_remaining_range() {
+        // Shards on disk: range 0..4 complete at 64 injections/point
+        // (setting the observed price), 4..8 nearly done (cheap), 8..12
+        // unstarted (4 points × 64 = the expensive one). The next claim
+        // must take 8..12 first.
+        let dir = tmp_dir("cost");
+        let q = queue(&dir, "w", 12, 4, Duration::from_secs(60));
+        let mut cp = checkpoint(12);
+        for i in 0..4 {
+            cp.points[i].complete = true;
+            cp.points[i].injections_done = 64;
+        }
+        for i in 4..8 {
+            cp.points[i].injections_done = 60;
+        }
+        let shards = dir.join("shards");
+        cp.shard("w", 0..4)
+            .save(&shards.join(shard_file_name(&(0..4))))
+            .unwrap();
+        cp.shard("w", 4..8)
+            .save(&shards.join(shard_file_name(&(4..8))))
+            .unwrap();
+        let order = q.claim_order();
+        assert_eq!(
+            order,
+            vec![(2, 256), (1, 16), (0, 0)],
+            "descending estimated remaining cost"
+        );
+        assert_eq!(
+            q.claim().unwrap(),
+            vec![8, 9, 10, 11],
+            "the expensive unstarted range is leased first"
+        );
     }
 
     #[test]

@@ -125,7 +125,7 @@ fn telemetry_stats_status_and_gc_flow() {
     assert!(status.status.success());
     let doc = parse_value_complete(&String::from_utf8_lossy(&status.stdout))
         .expect("status --json parses");
-    assert_eq!(get(&doc, &["schema_version"]), &serde_json::Value::U64(1));
+    assert_eq!(get(&doc, &["schema_version"]), &serde_json::Value::U64(2));
     assert!(
         get(&doc, &["telemetry"])
             .get("injections_per_sec")

@@ -225,12 +225,19 @@ fn gc_campaign_sweeps_expired_leases_only() {
             r#"{{"version":1,"fingerprint":"f","worker":"{worker}","range_start":0,"range_end":8,"acquired_unix":1,"expires_unix":{expires}}}"#
         )
     };
-    // One long-expired lease, one live far-future lease.
-    std::fs::write(
-        leases.join("lease-00000000-00000008.json"),
-        lease("dead", 1),
-    )
-    .unwrap();
+    // One long-expired lease, one live far-future lease. Expiry is
+    // judged by observed file age against the record's TTL (stamps are
+    // diagnostics only), so the dead lease's file must actually look
+    // old: age its mtime past the 1-second TTL its stamps encode.
+    let dead_path = leases.join("lease-00000000-00000008.json");
+    std::fs::write(&dead_path, lease("dead", 1)).unwrap();
+    let old = std::time::SystemTime::now() - std::time::Duration::from_secs(600);
+    std::fs::OpenOptions::new()
+        .append(true)
+        .open(&dead_path)
+        .unwrap()
+        .set_times(std::fs::FileTimes::new().set_modified(old))
+        .unwrap();
     std::fs::write(
         leases.join("lease-00000008-00000016.json"),
         lease("alive", u64::MAX / 2),
