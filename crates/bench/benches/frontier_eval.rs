@@ -1,0 +1,88 @@
+//! Criterion bench: event-driven frontier vs static cone evaluation.
+//!
+//! The frontier path evaluates only the cone ops whose inputs currently
+//! differ from the golden [`ffr_sim::NetJournal`] values, so its cost
+//! tracks the *live divergence* of an injection, not the cone size. This
+//! bench runs both inner loops over a real mac-small testbench window
+//! with a real all-lanes SEU injection on representative cones and
+//! reports throughput in cone-op equivalents (the work the static cone
+//! path performs over the same window) — the frontier/cone ratio is the
+//! event-driven win, apples to apples with the `cone_eval` bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffr_circuits::{Mac10geConfig, MacTestbench, TrafficConfig};
+use ffr_netlist::FfId;
+use ffr_sim::{FrontierScratch, GoldenRun, NetJournal, SimState, Stimulus};
+
+fn bench_frontier_vs_cone(c: &mut Criterion) {
+    let (cc, tb, watch, _extractor) =
+        MacTestbench::setup(Mac10geConfig::small(), &TrafficConfig::small());
+    let golden = GoldenRun::capture(&cc, &tb, &watch);
+    let netj = NetJournal::capture(&cc, &tb);
+    let t0 = tb.injection_window().start;
+    let end = tb.num_cycles();
+
+    // Rank every SEU cone by op count to pick representative sizes.
+    let mut by_size: Vec<usize> = (0..cc.num_ffs()).collect();
+    by_size.sort_by_key(|&i| cc.ff_cone(FfId::from_index(i)).num_ops());
+    let cases = [
+        ("largest_ff", *by_size.last().unwrap()),
+        ("median_ff", by_size[by_size.len() / 2]),
+    ];
+
+    let mut group = c.benchmark_group("frontier_eval");
+    group.sample_size(20);
+    for (name, ff) in cases {
+        let cone = cc.ff_cone(FfId::from_index(ff));
+        // Both loops do the work the static cone path counts.
+        group.throughput(Throughput::Elements(cone.num_ops() as u64 * (end - t0)));
+
+        group.bench_function(BenchmarkId::new("cone", name), |b| {
+            let mut state = SimState::new(&cc);
+            b.iter(|| {
+                state.load_cone_state_broadcast(&cone, golden.journal.state_at(t0));
+                state.set_cycle(t0);
+                for cycle in t0..end {
+                    state.load_boundary(&cone, netj.row(cycle));
+                    if cycle == t0 {
+                        state.flip_ff(&cc, FfId::from_index(ff), !0u64);
+                    }
+                    state.eval_cone(&cone);
+                    state.tick_cone(&cone);
+                }
+                std::hint::black_box(state.cycle())
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("frontier", name), |b| {
+            let mut state = SimState::new(&cc);
+            let mut fs = FrontierScratch::new();
+            b.iter(|| {
+                fs.attach(&cone);
+                state.set_cycle(t0);
+                for cycle in t0..end {
+                    let row = netj.row(cycle);
+                    if cycle == t0 {
+                        state.flip_frontier(&cone, &mut fs, row, !0u64);
+                    }
+                    state.eval_frontier(&cone, &mut fs, row);
+                    let next = cycle + 1;
+                    state.tick_frontier(
+                        &cone,
+                        &mut fs,
+                        if next < end {
+                            Some(netj.row(next))
+                        } else {
+                            None
+                        },
+                    );
+                }
+                std::hint::black_box(fs.ops_evaluated())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontier_vs_cone);
+criterion_main!(benches);

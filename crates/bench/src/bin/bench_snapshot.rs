@@ -29,9 +29,9 @@
 use ffr_campaign::{
     session, AdaptivePolicy, CampaignStats, CancelToken, RunRequest, RunnerOptions,
 };
-use ffr_circuits::{Mac10ge, Mac10geConfig};
+use ffr_circuits::{Mac10ge, Mac10geConfig, MacTestbench, TrafficConfig};
 use ffr_netlist::FfId;
-use ffr_sim::{CompiledCircuit, SimState};
+use ffr_sim::{CompiledCircuit, FrontierScratch, NetJournal, SimState, Stimulus};
 use serde::{Serialize, Value};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,7 +39,9 @@ use std::time::Instant;
 
 /// Snapshot schema version (bumped on incompatible shape changes).
 /// v2: added `cone_eval_mops_per_sec` to `BENCH_sim.json`.
-const SCHEMA_VERSION: u64 = 2;
+/// v3: added `frontier_eval_mops_per_sec` to `BENCH_sim.json`; `--check`
+/// now also rejects schema drift and stale committed metrics.
+const SCHEMA_VERSION: u64 = 3;
 
 /// Default slowdown tolerance of `--check` (fraction of the committed
 /// value).
@@ -142,10 +144,54 @@ fn sim_metrics() -> Vec<(String, f64)> {
         cone_ops / t0.elapsed().as_secs_f64() / 1e6
     });
 
+    // Event-driven frontier on the same worst-case cone, over the real
+    // mac-small testbench journal with a real all-lanes SEU injection
+    // (matching the `frontier_eval` bench). Throughput is counted in
+    // cone-op *equivalents* — the ops the static cone path would have run
+    // over the same window — so the number is directly comparable to
+    // `cone_eval_mops_per_sec`: the ratio is the event-driven win.
+    let (tcc, tb, _watch, _extractor) =
+        MacTestbench::setup(Mac10geConfig::small(), &TrafficConfig::small());
+    let netj = NetJournal::capture(&tcc, &tb);
+    let flargest = (0..tcc.num_ffs())
+        .max_by_key(|&i| tcc.ff_cone(FfId::from_index(i)).num_ops())
+        .expect("MAC has flip-flops");
+    let fcone = tcc.ff_cone(FfId::from_index(flargest));
+    let t0 = tb.injection_window().start;
+    let endc = tb.num_cycles();
+    let equiv_ops = fcone.num_ops() as f64 * (endc - t0) as f64;
+    let frontier_eval = measure(|| {
+        let mut state = SimState::new(&tcc);
+        let mut fs = FrontierScratch::new();
+        fs.attach(&fcone);
+        state.set_cycle(t0);
+        let timer = Instant::now();
+        for cycle in t0..endc {
+            let row = netj.row(cycle);
+            if cycle == t0 {
+                state.flip_frontier(&fcone, &mut fs, row, !0u64);
+            }
+            state.eval_frontier(&fcone, &mut fs, row);
+            let next = cycle + 1;
+            state.tick_frontier(
+                &fcone,
+                &mut fs,
+                if next < endc {
+                    Some(netj.row(next))
+                } else {
+                    None
+                },
+            );
+        }
+        std::hint::black_box(fs.ops_evaluated());
+        equiv_ops / timer.elapsed().as_secs_f64() / 1e6
+    });
+
     vec![
         ("sim_eval_mops_per_sec".to_string(), plain),
         ("forced_eval_mops_per_sec".to_string(), forced),
         ("cone_eval_mops_per_sec".to_string(), cone_eval),
+        ("frontier_eval_mops_per_sec".to_string(), frontier_eval),
     ]
 }
 
@@ -219,6 +265,12 @@ fn committed_metric(file: &str, doc: &Value, name: &str) -> Result<f64, String> 
 
 /// Compare fresh metrics against a committed snapshot; returns the number
 /// of metrics that regressed beyond the tolerance.
+///
+/// Besides per-metric slowdowns, the check fails loudly on any *shape*
+/// drift between the binary and the committed file: a schema_version
+/// mismatch, a fresh metric the committed file lacks (a newly added
+/// metric must be committed, not silently skipped) and a committed
+/// metric the binary no longer emits (a stale snapshot gates nothing).
 fn check_file(file: &str, metrics: &[(String, f64)]) -> Result<usize, String> {
     let path = repo_path(file);
     let text = std::fs::read_to_string(&path).map_err(|e| {
@@ -229,6 +281,25 @@ fn check_file(file: &str, metrics: &[(String, f64)]) -> Result<usize, String> {
         )
     })?;
     let doc = serde_json::parse_value_complete(&text).map_err(|e| format!("{file}: {e}"))?;
+    match doc.get("schema_version") {
+        Some(Value::U64(v)) if *v == SCHEMA_VERSION => {}
+        other => {
+            return Err(format!(
+                "{file} has schema_version {other:?}, this binary expects {SCHEMA_VERSION} — \
+                 regenerate with `cargo run --release -p ffr-bench --bin bench_snapshot`"
+            ))
+        }
+    }
+    if let Some(Value::Object(committed)) = doc.get("metrics") {
+        for (name, _) in committed {
+            if !metrics.iter().any(|(fresh, _)| fresh == name) {
+                return Err(format!(
+                    "{file} carries stale metric `{name}` this binary no longer measures — \
+                     regenerate with `cargo run --release -p ffr-bench --bin bench_snapshot`"
+                ));
+            }
+        }
+    }
     let tol = tolerance();
     let mut regressions = 0;
     for (name, current) in metrics {

@@ -486,6 +486,34 @@ impl CampaignStats {
             }
         }
 
+        // Frontier-restriction effectiveness, derived from the frontier.*
+        // counters the runner records once per retired point. Evaluated +
+        // skipped together equal what the static cone path would have run.
+        let evaluated = self
+            .counters
+            .get("frontier.ops_evaluated")
+            .copied()
+            .unwrap_or(0);
+        let skipped = self
+            .counters
+            .get("frontier.ops_skipped")
+            .copied()
+            .unwrap_or(0);
+        if evaluated + skipped > 0 {
+            let points = self.counters.get("cone.points").copied().unwrap_or(0);
+            let frac = evaluated as f64 / (evaluated + skipped) as f64;
+            let mean_peak = if points > 0 {
+                self.counters.get("frontier.peak").copied().unwrap_or(0) as f64 / points as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "\nfrontier restriction:\n  {evaluated} cone ops evaluated, {skipped} skipped ({:.1}% of static cone work); mean peak frontier {mean_peak:.1} ops/cycle",
+                frac * 100.0,
+            );
+        }
+
         out.push_str("\ncounters (merged):\n");
         for (name, value) in &self.counters {
             let _ = writeln!(out, "  {name:<28} {value:>12}");

@@ -42,6 +42,13 @@ pub struct CampaignConfig {
     /// data (sound, pure optimisation — produces bit-identical traces
     /// and tallies). Disable only for measurement ablations.
     pub cone: bool,
+    /// Event-driven evaluation inside the cone: per cycle, evaluate only
+    /// the ops whose inputs currently differ from the golden
+    /// [`NetJournal`] values and pull everything else from the journal by
+    /// construction (sound, pure optimisation — produces bit-identical
+    /// traces and tallies). Requires `cone`; disable only for
+    /// measurement ablations.
+    pub frontier: bool,
 }
 
 impl CampaignConfig {
@@ -54,6 +61,7 @@ impl CampaignConfig {
             seed: 0,
             early_exit: true,
             cone: true,
+            frontier: true,
         }
     }
 
@@ -72,6 +80,12 @@ impl CampaignConfig {
     /// Builder-style override of cone restriction (ablations only).
     pub fn with_cone(mut self, cone: bool) -> CampaignConfig {
         self.cone = cone;
+        self
+    }
+
+    /// Builder-style override of frontier evaluation (ablations only).
+    pub fn with_frontier(mut self, frontier: bool) -> CampaignConfig {
+        self.frontier = frontier;
         self
     }
 }
@@ -97,6 +111,9 @@ pub struct PointRunner {
     /// entries are copied from the golden trace each cycle.
     watch_in_cone: Vec<bool>,
     cycles_saved: u64,
+    frontier_ops_evaluated: u64,
+    frontier_cycles: u64,
+    frontier_peak: u32,
 }
 
 impl PointRunner {
@@ -120,6 +137,25 @@ impl PointRunner {
     pub fn cycles_saved(&self) -> u64 {
         self.cycles_saved
     }
+
+    /// Cone ops actually evaluated by the event-driven frontier across
+    /// every batch this runner has simulated.
+    pub fn frontier_ops_evaluated(&self) -> u64 {
+        self.frontier_ops_evaluated
+    }
+
+    /// Cone-op evaluations the frontier skipped relative to the static
+    /// cone path (which evaluates every cone op every simulated cycle).
+    pub fn frontier_ops_skipped(&self) -> u64 {
+        (self.frontier_cycles * self.cone.num_ops() as u64)
+            .saturating_sub(self.frontier_ops_evaluated)
+    }
+
+    /// Largest number of cone ops the frontier evaluated in any single
+    /// cycle (worst-case divergence width).
+    pub fn frontier_peak(&self) -> u32 {
+        self.frontier_peak
+    }
 }
 
 /// Reusable per-thread simulation buffers: state, input frame, output
@@ -135,6 +171,10 @@ pub struct PointScratch {
     /// duplicate cycles merged — replaces a per-cycle rescan of every
     /// lane's injection time.
     schedule: Vec<(u64, u64)>,
+    /// Event-driven worklist state for the frontier evaluation path,
+    /// re-attached per batch (re-sizing is a no-op between same-cone
+    /// batches).
+    frontier: ffr_sim::FrontierScratch,
 }
 
 /// A prepared fault-injection campaign: compiled circuit, stimulus, watch
@@ -310,6 +350,9 @@ where
             cone,
             watch_in_cone,
             cycles_saved: 0,
+            frontier_ops_evaluated: 0,
+            frontier_cycles: 0,
+            frontier_peak: 0,
         }
     }
 
@@ -323,6 +366,7 @@ where
             trace: OutputTrace::new(0, 0, 0),
             converged_at: Vec::new(),
             schedule: Vec::new(),
+            frontier: ffr_sim::FrontierScratch::new(),
         }
     }
 
@@ -392,8 +436,8 @@ where
             trace,
             converged_at,
             schedule,
+            frontier,
         } = scratch;
-        trace.reset(t0, end, self.watch.len());
         converged_at.clear();
         converged_at.resize(times.len(), None);
 
@@ -427,7 +471,263 @@ where
         let mut next_fault = 0usize;
 
         if let Some(journal) = journal {
+            if config.frontier {
+                // Event-driven frontier path: nothing is loaded up front —
+                // before the first injection every cone net is clean
+                // (golden by construction), so the whole pre-injection
+                // prefix and every masked-out region of the cone cost
+                // zero op evaluations. Dirty nets hold live values; clean
+                // nets are lazily refreshed from the journal row.
+                let cone = &runner.cone;
+                frontier.attach(cone);
+                // Seed the faulty trace with the golden trace in one bulk
+                // copy: only rows where a watched output actually
+                // deviates are overwritten below, and fast-forwarded
+                // spans need no per-cycle trace writes at all.
+                trace.reset_from(&self.golden.trace, t0);
+                state.set_cycle(t0);
+                let mut cycle = t0;
+                // Hybrid escape hatch: a worklist op costs a few times a
+                // dense cone op (measured breakeven ~1/4 of the cone on
+                // mac-small), so once the live frontier covers ~1/4 of
+                // the cone the event-driven loop is a net loss. `dense`
+                // switches to the static cone loop for such spans and
+                // drops back to the frontier when the state re-quiesces.
+                let mut dense = false;
+                let mut dense_cycles: u64 = 0;
+                while cycle < end {
+                    if dense {
+                        dense_cycles += 1;
+                        state.load_boundary(cone, journal.row(cycle));
+
+                        let mut fault_mask = 0u64;
+                        while next_fault < schedule.len() && schedule[next_fault].0 == cycle {
+                            fault_mask |= schedule[next_fault].1;
+                            next_fault += 1;
+                        }
+                        if fault_mask != 0 {
+                            pending &= !fault_mask;
+                            converged &= !fault_mask;
+                        }
+                        match runner.point {
+                            CompiledPoint::Seu(ff) => {
+                                if fault_mask != 0 {
+                                    state.flip_ff(self.cc, ff, fault_mask);
+                                }
+                                state.eval_cone(cone);
+                            }
+                            CompiledPoint::Set(_) => {
+                                if fault_mask != 0 {
+                                    state.eval_forced_cone(cone, fault_mask);
+                                } else {
+                                    state.eval_cone(cone);
+                                }
+                            }
+                        }
+                        // Only in-cone outputs can deviate; out-of-cone
+                        // rows are already golden from the bulk seed.
+                        let trace_row = trace.row_mut(cycle);
+                        for (w, (&po, &in_cone)) in self
+                            .watch
+                            .indices()
+                            .iter()
+                            .zip(&runner.watch_in_cone)
+                            .enumerate()
+                        {
+                            if in_cone {
+                                trace_row[w] = state.output_word(self.cc, po);
+                            }
+                        }
+                        state.tick_cone(cone);
+
+                        let next = cycle + 1;
+                        // Unlike the pure cone path this diffs every
+                        // cycle, not only once `pending == 0`: quiescence
+                        // (`diff == 0`) is also the signal to drop back
+                        // to the frontier representation.
+                        let diff = if next < end {
+                            state.diff_lanes_cone(cone, self.golden.journal.state_at(next))
+                        } else {
+                            0
+                        };
+                        if config.early_exit && pending == 0 && next < end {
+                            let newly = active & !diff & !converged;
+                            if newly != 0 {
+                                for (lane, at) in converged_at.iter_mut().enumerate() {
+                                    if newly & (1u64 << lane) != 0 {
+                                        *at = Some(next);
+                                    }
+                                }
+                                converged |= newly;
+                            }
+                            if converged == active {
+                                runner.cycles_saved += end - next;
+                                runner.frontier_cycles += next - t0;
+                                runner.frontier_ops_evaluated +=
+                                    frontier.ops_evaluated() + dense_cycles * cone.num_ops() as u64;
+                                runner.frontier_peak = runner
+                                    .frontier_peak
+                                    .max(frontier.peak())
+                                    .max(cone.num_ops() as u32);
+                                return;
+                            }
+                        }
+                        cycle = next;
+                        if diff == 0 && cycle < end {
+                            // Every lane equals golden again: all cone
+                            // nets clean is exactly the frontier
+                            // invariant (stored values go stale, reads
+                            // lazily refresh), so switching back costs
+                            // only clearing the scratch. Then fast-forward
+                            // to the next scheduled injection like the
+                            // frontier path below.
+                            frontier.quiesce();
+                            dense = false;
+                            cycle = if pending != 0 {
+                                schedule[next_fault].0
+                            } else if !config.early_exit {
+                                end
+                            } else {
+                                cycle
+                            };
+                            state.set_cycle(cycle);
+                        }
+                        continue;
+                    }
+                    let row = journal.row(cycle);
+
+                    let mut fault_mask = 0u64;
+                    while next_fault < schedule.len() && schedule[next_fault].0 == cycle {
+                        fault_mask |= schedule[next_fault].1;
+                        next_fault += 1;
+                    }
+                    if fault_mask != 0 {
+                        pending &= !fault_mask;
+                        converged &= !fault_mask;
+                    }
+                    match runner.point {
+                        CompiledPoint::Seu(_) => {
+                            if fault_mask != 0 {
+                                state.flip_frontier(cone, frontier, row, fault_mask);
+                            }
+                            state.eval_frontier(cone, frontier, row);
+                        }
+                        CompiledPoint::Set(_) => {
+                            if fault_mask != 0 {
+                                state.eval_forced_frontier(cone, frontier, row, fault_mask);
+                            } else {
+                                state.eval_frontier(cone, frontier, row);
+                            }
+                        }
+                    }
+                    // Record watched outputs: only nets on the live
+                    // frontier can deviate; everything else — out-of-cone
+                    // or in-cone-but-clean — is already golden in the
+                    // trace from the bulk seed.
+                    if frontier.any_dirty() {
+                        let trace_row = trace.row_mut(cycle);
+                        for (w, (&po, &in_cone)) in self
+                            .watch
+                            .indices()
+                            .iter()
+                            .zip(&runner.watch_in_cone)
+                            .enumerate()
+                        {
+                            if in_cone && frontier.net_dirty(self.cc.output_net(po)) {
+                                trace_row[w] = state.output_word(self.cc, po);
+                            }
+                        }
+                    }
+
+                    let next = cycle + 1;
+                    let diff = state.tick_frontier(
+                        cone,
+                        frontier,
+                        // Q nets in the journal's row `next` hold the
+                        // golden state *entering* cycle `next` — exactly
+                        // the post-tick comparison baseline.
+                        if next < end {
+                            Some(journal.row(next))
+                        } else {
+                            None
+                        },
+                    );
+
+                    // Lane convergence falls out of the latch loop for
+                    // free: `diff` is bit-identical to what
+                    // `diff_lanes_cone` would scan the whole cone for.
+                    if config.early_exit && pending == 0 && next < end {
+                        let newly = active & !diff & !converged;
+                        if newly != 0 {
+                            for (lane, at) in converged_at.iter_mut().enumerate() {
+                                if newly & (1u64 << lane) != 0 {
+                                    *at = Some(next);
+                                }
+                            }
+                            converged |= newly;
+                        }
+                        if converged == active {
+                            runner.cycles_saved += end - next;
+                            runner.frontier_cycles += next - t0;
+                            runner.frontier_ops_evaluated +=
+                                frontier.ops_evaluated() + dense_cycles * cone.num_ops() as u64;
+                            runner.frontier_peak = runner.frontier_peak.max(frontier.peak());
+                            if dense_cycles > 0 {
+                                runner.frontier_peak =
+                                    runner.frontier_peak.max(cone.num_ops() as u32);
+                            }
+                            return;
+                        }
+                    }
+                    cycle = next;
+
+                    // Fast-forward over a quiescent frontier: `diff == 0`
+                    // means every latched flip-flop latched its golden
+                    // value, so no net is dirty and the state equals
+                    // golden in *every* lane — nothing can change before
+                    // the next scheduled injection. The faulty trace over
+                    // the skipped span is the golden trace by
+                    // construction, and no convergence bookkeeping is
+                    // skipped: `converged_at` recording is gated on
+                    // `pending == 0` in every evaluation path, and with
+                    // `pending == 0` we either broke out above
+                    // (early-exit) or run a no-early-exit ablation that
+                    // never records convergence.
+                    if diff == 0 && cycle < end {
+                        cycle = if pending != 0 {
+                            schedule[next_fault].0
+                        } else if !config.early_exit {
+                            end
+                        } else {
+                            cycle
+                        };
+                        state.set_cycle(cycle);
+                    } else if cycle < end
+                        && frontier.last_cycle_ops() as usize * 4 >= cone.num_ops()
+                    {
+                        // Persistent wide divergence: the live frontier
+                        // covers enough of the cone that dense evaluation
+                        // is cheaper. Refresh the touched-but-clean nets
+                        // from the golden row (dirty nets are already
+                        // live) — exactly the state the static cone loop
+                        // maintains — and take the dense branch above
+                        // until the fault damps out.
+                        state.adopt_frontier(cone, frontier, journal.row(cycle));
+                        frontier.quiesce();
+                        dense = true;
+                    }
+                }
+                runner.frontier_cycles += end - t0;
+                runner.frontier_ops_evaluated +=
+                    frontier.ops_evaluated() + dense_cycles * cone.num_ops() as u64;
+                runner.frontier_peak = runner.frontier_peak.max(frontier.peak());
+                if dense_cycles > 0 {
+                    runner.frontier_peak = runner.frontier_peak.max(cone.num_ops() as u32);
+                }
+                return;
+            }
             let cone = &runner.cone;
+            trace.reset(t0, end, self.watch.len());
             state.load_cone_state_broadcast(cone, self.golden.journal.state_at(t0));
             state.set_cycle(t0);
             for cycle in t0..end {
@@ -501,6 +801,7 @@ where
         } else {
             // Full-circuit ablation path: reset clears residue a forced
             // source net may have left in the reused state.
+            trace.reset(t0, end, self.watch.len());
             state.reset(self.cc);
             state.load_ff_state_broadcast(self.cc, self.golden.journal.state_at(t0));
             state.set_cycle(t0);

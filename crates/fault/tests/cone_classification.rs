@@ -1,10 +1,11 @@
-//! Property tests: cone-restricted campaign simulation classifies every
-//! injection exactly like full-circuit simulation.
+//! Property tests: cone-restricted and frontier campaign simulation
+//! classify every injection exactly like full-circuit simulation.
 //!
-//! The cone path must be an *optimisation*, not an approximation — for
-//! both fault models, any injection target and any batch of injection
-//! times, the per-class tallies (and therefore every FDR table built
-//! from them) must match the full evaluation bit for bit.
+//! The cone and frontier paths must be *optimisations*, not
+//! approximations — for both fault models, any injection target and any
+//! batch of injection times, the per-class tallies (and therefore every
+//! FDR and SET derating table built from them) must match the full
+//! evaluation bit for bit across all three evaluation paths.
 
 use ffr_fault::{Campaign, CampaignConfig, FailureClass, InjectionPoint, OutputMismatchJudge};
 use ffr_netlist::{Bus, FfId, NetId, NetlistBuilder};
@@ -66,9 +67,10 @@ fn set_targets(cc: &CompiledCircuit) -> Vec<NetId> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// `run_point_times` with `cone: true` (the default) tallies every
-    /// failure class identically to the full-circuit ablation path, for
-    /// both fault models and arbitrary batches of injection times.
+    /// `run_point_times` with the default frontier path tallies every
+    /// failure class identically to both ablation paths (static cone and
+    /// full circuit), for both fault models and arbitrary batches of
+    /// injection times.
     #[test]
     fn cone_tallies_equal_full_tallies(
         width in 2usize..6,
@@ -92,11 +94,13 @@ proptest! {
         let times: Vec<u64> = raw_times.iter().map(|t| t % cycles).collect();
 
         let base = CampaignConfig::new(0..cycles);
-        let cone = campaign.run_point_times(point, &times, &base.clone().with_cone(true));
+        let frontier = campaign.run_point_times(point, &times, &base.clone());
+        let cone = campaign.run_point_times(point, &times, &base.clone().with_frontier(false));
         let full = campaign.run_point_times(point, &times, &base.with_cone(false));
+        prop_assert_eq!(frontier, cone);
         prop_assert_eq!(cone, full);
         prop_assert_eq!(
-            cone.iter().sum::<usize>(),
+            full.iter().sum::<usize>(),
             times.len(),
             "every injection classified exactly once"
         );
@@ -104,11 +108,11 @@ proptest! {
 }
 
 /// Whole-table equivalence: an SEU campaign over every flip-flop produces
-/// the same FDR table with and without cone restriction — including with
-/// early exit disabled, which forces full-window simulation on both
-/// paths.
+/// the same FDR table on the frontier, static-cone and full-circuit paths
+/// — including with early exit disabled, which forces full-window
+/// simulation everywhere.
 #[test]
-fn fdr_tables_identical_with_and_without_cone() {
+fn fdr_tables_identical_across_eval_paths() {
     let cc = circuit(4);
     let stim = MixStimulus {
         width: 4,
@@ -121,16 +125,56 @@ fn fdr_tables_identical_with_and_without_cone() {
     for early_exit in [true, false] {
         let mut base = CampaignConfig::new(8..88).with_injections(48).with_seed(19);
         base.early_exit = early_exit;
-        let cone = campaign.run(&base.clone().with_cone(true));
-        let full = campaign.run(&base.with_cone(false));
+        let frontier = campaign.run(&base.clone());
+        let cone = campaign.run(&base.clone().with_frontier(false));
+        let full = campaign.run(&base.clone().with_cone(false));
         for (ff, _) in cc.netlist().ffs() {
+            assert_eq!(
+                frontier.fdr(ff),
+                cone.fdr(ff),
+                "frontier/cone FDR mismatch for {} (early_exit={early_exit})",
+                cc.netlist().ff_name(ff)
+            );
             assert_eq!(
                 cone.fdr(ff),
                 full.fdr(ff),
-                "FDR mismatch for {} (early_exit={early_exit})",
+                "cone/full FDR mismatch for {} (early_exit={early_exit})",
                 cc.netlist().ff_name(ff)
             );
         }
+    }
+}
+
+/// Whole-table equivalence for the SET fault model: a derating campaign
+/// over every interesting net (gate outputs, Q nets, source inputs)
+/// produces the same table on all three evaluation paths.
+#[test]
+fn set_tables_identical_across_eval_paths() {
+    let cc = circuit(3);
+    let stim = MixStimulus {
+        width: 3,
+        cycles: 72,
+    };
+    let watch = WatchList::all(&cc);
+    let judge = OutputMismatchJudge::new();
+    let campaign = Campaign::new(&cc, &stim, &watch, &judge);
+    let nets = set_targets(&cc);
+
+    let base = CampaignConfig::new(4..68).with_injections(32).with_seed(23);
+    let frontier = campaign.run_set_parallel(&nets, &base.clone(), |_, _| {});
+    let cone = campaign.run_set_parallel(&nets, &base.clone().with_frontier(false), |_, _| {});
+    let full = campaign.run_set_parallel(&nets, &base.with_cone(false), |_, _| {});
+    for &net in &nets {
+        assert_eq!(
+            frontier.derating(net),
+            cone.derating(net),
+            "frontier/cone SET derating mismatch for net {net}"
+        );
+        assert_eq!(
+            cone.derating(net),
+            full.derating(net),
+            "cone/full SET derating mismatch for net {net}"
+        );
     }
 }
 
@@ -152,8 +196,11 @@ fn scratch_reuse_leaves_no_residue() {
 
     let times: Vec<u64> = (0..64).map(|i| (i * 7) % 64).collect();
     let mut scratch = campaign.point_scratch();
-    for cone in [true, false] {
-        let config = config.clone().with_cone(cone);
+    // (cone, frontier) covers all three evaluation paths; interleaving
+    // them through the same scratch also proves the frontier worklist is
+    // fully drained/re-attached between batches of different paths.
+    for (cone, frontier) in [(true, true), (true, false), (false, false)] {
+        let config = config.clone().with_cone(cone).with_frontier(frontier);
         for point in set_targets(&cc)
             .into_iter()
             .map(InjectionPoint::Set)

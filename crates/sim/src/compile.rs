@@ -112,7 +112,19 @@ pub struct Cone {
     pub(crate) boundary: Vec<u32>,
     /// Bitset over all nets: the root, cone op outputs and cone FF Q
     /// nets — the only nets whose value can ever deviate from golden.
-    touched: Vec<u64>,
+    pub(crate) touched: Vec<u64>,
+    /// Frontier fan-out adjacency (CSR over all nets): for each net that
+    /// can carry a non-golden value (`touched`), the cone-local indices
+    /// of the ops reading it. Event-driven evaluation schedules exactly
+    /// these ops when the net diverges from golden.
+    pub(crate) reader_off: Vec<u32>,
+    pub(crate) reader_ops: Vec<u32>,
+    /// Frontier latch adjacency (CSR over all nets): for each touched
+    /// net, the cone-local indices of the flip-flops whose D input it
+    /// drives. A divergent D net is exactly what makes a flip-flop latch
+    /// a non-golden value at the next clock edge.
+    pub(crate) latch_off: Vec<u32>,
+    pub(crate) latch_ffs: Vec<u32>,
 }
 
 impl Cone {
@@ -143,6 +155,11 @@ impl Cone {
     pub fn may_differ(&self, net: NetId) -> bool {
         let n = net.index();
         (self.touched[n / 64] >> (n % 64)) & 1 == 1
+    }
+
+    /// Words in the touched-net bitset (sizes the frontier dirty mask).
+    pub(crate) fn touched_words(&self) -> usize {
+        self.touched.len()
     }
 }
 
@@ -443,6 +460,50 @@ impl CompiledCircuit {
         need(root, &mut boundary, &mut in_boundary);
         boundary.sort_unstable();
 
+        // Frontier fan-out adjacency: which cone ops read net `n`, and
+        // which cone flip-flops latch it, keyed only for nets that can
+        // ever diverge from golden (`touched`) — untouched nets never
+        // raise an event. Two CSR passes: count, prefix-sum, fill.
+        let is_touched = |n: u32| (touched[(n / 64) as usize] >> (n % 64)) & 1 == 1;
+        let mut reader_off = vec![0u32; self.num_nets + 1];
+        let mut latch_off = vec![0u32; self.num_nets + 1];
+        for op in &ops {
+            for n in [op.a, op.b, op.c] {
+                if is_touched(n) {
+                    reader_off[n as usize + 1] += 1;
+                }
+            }
+        }
+        for &d in &ff_d {
+            if is_touched(d) {
+                latch_off[d as usize + 1] += 1;
+            }
+        }
+        for i in 0..self.num_nets {
+            reader_off[i + 1] += reader_off[i];
+            latch_off[i + 1] += latch_off[i];
+        }
+        let mut reader_ops = vec![0u32; reader_off[self.num_nets] as usize];
+        let mut latch_ffs = vec![0u32; latch_off[self.num_nets] as usize];
+        let mut reader_cursor = reader_off.clone();
+        let mut latch_cursor = latch_off.clone();
+        for (j, op) in ops.iter().enumerate() {
+            for n in [op.a, op.b, op.c] {
+                if is_touched(n) {
+                    let slot = reader_cursor[n as usize] as usize;
+                    reader_ops[slot] = j as u32;
+                    reader_cursor[n as usize] += 1;
+                }
+            }
+        }
+        for (k, &d) in ff_d.iter().enumerate() {
+            if is_touched(d) {
+                let slot = latch_cursor[d as usize] as usize;
+                latch_ffs[slot] = k as u32;
+                latch_cursor[d as usize] += 1;
+            }
+        }
+
         Cone {
             ops,
             forced_split,
@@ -452,6 +513,10 @@ impl CompiledCircuit {
             ff_d,
             boundary,
             touched,
+            reader_off,
+            reader_ops,
+            latch_off,
+            latch_ffs,
         }
     }
 

@@ -6,6 +6,192 @@ use ffr_netlist::FfId;
 /// Number of independent simulation lanes packed into each net value.
 pub const LANES: usize = 64;
 
+/// Broadcast the golden bit of net `n` from a packed
+/// [`NetJournal`](crate::NetJournal) row to all 64 lanes.
+#[inline]
+fn row_broadcast(row: &[u64], n: u32) -> u64 {
+    ((row[(n / 64) as usize] >> (n % 64)) & 1).wrapping_neg()
+}
+
+/// Reusable bookkeeping of event-driven *frontier* evaluation: the
+/// worklist of cone ops whose inputs currently differ from golden, the
+/// per-net golden-diff (dirty) mask, and the set of flip-flops about to
+/// latch a divergent value.
+///
+/// The frontier engine ([`SimState::eval_frontier`] /
+/// [`SimState::eval_forced_frontier`] / [`SimState::tick_frontier`])
+/// evaluates **only** the ops reachable from live divergence instead of
+/// the whole fan-out cone every cycle: a net equal to golden on all
+/// lanes never schedules its readers, and its value is served from the
+/// golden [`NetJournal`](crate::NetJournal) row lazily when read. One
+/// scratch serves any number of cones and batches (re-arm with
+/// [`FrontierScratch::attach`]); the steady-state loop allocates
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FrontierScratch {
+    /// Bitset over all nets: value in the state differs from this
+    /// cycle's golden value on at least one lane (the value is live).
+    dirty: Vec<u64>,
+    /// Nets marked dirty this cycle, for O(|dirty|) clearing at tick.
+    dirty_nets: Vec<u32>,
+    /// Worklist bitset over cone-local op indices. Popping bits in
+    /// ascending index order is exactly topological order, because the
+    /// cone op list preserves the global levelized order.
+    queue: Vec<u64>,
+    /// Inclusive scheduled-op index range (`u32::MAX` when empty): the
+    /// scan visits only words that can hold work.
+    q_lo: u32,
+    q_hi: u32,
+    /// Cone-local indices of flip-flops whose D net is dirty — the only
+    /// flip-flops that need to latch at the next edge.
+    latch: Vec<u32>,
+    /// Dedupe bitset over cone-local flip-flop indices for `latch`.
+    latched: Vec<u64>,
+    /// Captured D words (parallel to `latch`), so Q-to-D shift chains
+    /// latch pre-edge values like the full two-pass tick.
+    capture: Vec<u64>,
+    /// Ops evaluated since the last [`FrontierScratch::attach`].
+    ops_evaluated: u64,
+    /// Ops evaluated in the current cycle (feeds `peak`).
+    cycle_ops: u32,
+    /// Ops evaluated in the most recently ticked cycle — the hybrid
+    /// dense-switch trigger reads this as a width estimate.
+    last_cycle_ops: u32,
+    /// Most ops evaluated in any single cycle since the last attach.
+    peak: u32,
+}
+
+impl FrontierScratch {
+    /// Empty scratch; call [`FrontierScratch::attach`] before use.
+    pub fn new() -> FrontierScratch {
+        FrontierScratch::default()
+    }
+
+    /// Re-arm the scratch for a (possibly different) cone: size the
+    /// bitsets, clear every per-cycle structure and reset the counters.
+    /// Must be called before the first cycle of every batch.
+    pub fn attach(&mut self, cone: &Cone) {
+        self.dirty.clear();
+        self.dirty.resize(cone.touched_words(), 0);
+        self.dirty_nets.clear();
+        self.queue.clear();
+        self.queue.resize(cone.ops.len().div_ceil(64), 0);
+        self.q_lo = u32::MAX;
+        self.q_hi = 0;
+        self.latch.clear();
+        self.latched.clear();
+        self.latched.resize(cone.ffs.len().div_ceil(64), 0);
+        self.capture.clear();
+        self.ops_evaluated = 0;
+        self.cycle_ops = 0;
+        self.last_cycle_ops = 0;
+        self.peak = 0;
+    }
+
+    /// Drop every pending worklist entry and dirty mark, keeping the
+    /// counters. Correct only at total quiescence — when the caller has
+    /// proven (via a zero lane-diff) that the whole cone state equals
+    /// golden again — or when abandoning the frontier representation for
+    /// dense evaluation.
+    pub fn quiesce(&mut self) {
+        for i in 0..self.dirty_nets.len() {
+            let n = self.dirty_nets[i];
+            self.dirty[(n / 64) as usize] &= !(1u64 << (n % 64));
+        }
+        self.dirty_nets.clear();
+        for i in 0..self.latch.len() {
+            let k = self.latch[i];
+            self.latched[(k / 64) as usize] &= !(1u64 << (k % 64));
+        }
+        self.latch.clear();
+        if self.q_lo != u32::MAX {
+            for w in (self.q_lo / 64)..=(self.q_hi / 64) {
+                self.queue[w as usize] = 0;
+            }
+            self.q_lo = u32::MAX;
+            self.q_hi = 0;
+        }
+        self.cycle_ops = 0;
+    }
+
+    /// `true` if `net` differs from golden on some lane this cycle (its
+    /// state value is live); `false` means the net is golden by
+    /// construction and its state value may be stale.
+    pub fn net_dirty(&self, net: ffr_netlist::NetId) -> bool {
+        self.is_dirty(net.index() as u32)
+    }
+
+    /// Whether *any* net currently differs from golden (post-eval). When
+    /// `false`, every watched output is provably golden and trace
+    /// recording can be skipped wholesale.
+    pub fn any_dirty(&self) -> bool {
+        !self.dirty_nets.is_empty()
+    }
+
+    /// Ops evaluated since the last [`FrontierScratch::attach`].
+    pub fn ops_evaluated(&self) -> u64 {
+        self.ops_evaluated
+    }
+
+    /// Most ops evaluated in any single cycle since the last attach.
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+
+    /// Ops evaluated in the most recently ticked cycle.
+    pub fn last_cycle_ops(&self) -> u32 {
+        self.last_cycle_ops
+    }
+
+    #[inline]
+    fn is_dirty(&self, n: u32) -> bool {
+        (self.dirty[(n / 64) as usize] >> (n % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn schedule(&mut self, j: u32) {
+        self.queue[(j / 64) as usize] |= 1u64 << (j % 64);
+        if self.q_lo == u32::MAX {
+            self.q_lo = j;
+            self.q_hi = j;
+        } else {
+            self.q_lo = self.q_lo.min(j);
+            self.q_hi = self.q_hi.max(j);
+        }
+    }
+
+    /// Mark `n` dirty and fan the event out: schedule the cone ops
+    /// reading it and enqueue the flip-flops it feeds for the next
+    /// latch. Idempotent within a cycle.
+    fn spread(&mut self, cone: &Cone, n: u32) {
+        let w = (n / 64) as usize;
+        let bit = 1u64 << (n % 64);
+        if self.dirty[w] & bit == 0 {
+            self.dirty[w] |= bit;
+            self.dirty_nets.push(n);
+        }
+        let (lo, hi) = (
+            cone.reader_off[n as usize] as usize,
+            cone.reader_off[n as usize + 1] as usize,
+        );
+        for i in lo..hi {
+            self.schedule(cone.reader_ops[i]);
+        }
+        let (lo, hi) = (
+            cone.latch_off[n as usize] as usize,
+            cone.latch_off[n as usize + 1] as usize,
+        );
+        for i in lo..hi {
+            let k = cone.latch_ffs[i];
+            let (w, bit) = ((k / 64) as usize, 1u64 << (k % 64));
+            if self.latched[w] & bit == 0 {
+                self.latched[w] |= bit;
+                self.latch.push(k);
+            }
+        }
+    }
+}
+
 /// Mutable state of one simulation run: a `u64` per net (64 lanes), the
 /// flip-flop contents, and the current cycle number.
 ///
@@ -217,6 +403,205 @@ impl SimState {
             let bit = (packed[ff / 64] >> (ff % 64)) & 1;
             diff |= self.values[cone.ff_q[k] as usize] ^ bit.wrapping_neg();
         }
+        diff
+    }
+
+    /// Frontier-flip the cone's root net (an SEU on a flip-flop Q net,
+    /// or a SET on a driverless source net): refresh the root to this
+    /// cycle's golden value if it is clean, XOR `mask` onto it, and fan
+    /// the divergence event out to its cone readers and latches.
+    ///
+    /// Byte-identical to [`SimState::flip_ff`] on the cone path: a clean
+    /// root provably holds the golden value, so refresh-then-flip equals
+    /// flip-in-place.
+    pub fn flip_frontier(&mut self, cone: &Cone, fs: &mut FrontierScratch, row: &[u64], mask: u64) {
+        let root = cone.root;
+        if !fs.is_dirty(root) {
+            self.values[root as usize] = row_broadcast(row, root);
+        }
+        self.values[root as usize] ^= mask;
+        fs.spread(cone, root);
+    }
+
+    /// Convert a frontier-represented cone state into the dense form the
+    /// static cone loop ([`SimState::eval_cone`] / [`SimState::tick_cone`])
+    /// expects: refresh every touched-but-clean net to this cycle's
+    /// golden value, so *all* cone nets hold live values afterwards.
+    /// Dirty nets are already live by the frontier invariant. O(|cone|),
+    /// paid once per representation switch.
+    pub fn adopt_frontier(&mut self, cone: &Cone, fs: &FrontierScratch, row: &[u64]) {
+        for (w, &tword) in cone.touched.iter().enumerate() {
+            let mut stale = tword & !fs.dirty[w];
+            while stale != 0 {
+                let b = stale.trailing_zeros();
+                stale &= stale - 1;
+                let n = (w as u32) * 64 + b;
+                self.values[n as usize] = row_broadcast(row, n);
+            }
+        }
+    }
+
+    /// Event-driven [`SimState::eval_cone`]: evaluate only the cone ops
+    /// scheduled on the frontier worklist (their inputs differ from this
+    /// cycle's golden values in `row`), in topological order.
+    ///
+    /// Clean operands are refreshed lazily from the golden row before an
+    /// op runs, so no boundary broadcast and no whole-cone sweep happen
+    /// at all. An op whose output comes out equal to golden stops
+    /// propagating; an op whose output differs schedules its cone
+    /// fan-out (and enqueues the flip-flops it feeds for
+    /// [`SimState::tick_frontier`]).
+    pub fn eval_frontier(&mut self, cone: &Cone, fs: &mut FrontierScratch, row: &[u64]) {
+        Self::propagate(&mut self.values, cone, fs, row, None);
+    }
+
+    /// Event-driven [`SimState::eval_forced_cone`]: XOR-force the cone's
+    /// root for exactly this evaluation. Gate-output roots schedule the
+    /// driving op and apply the mask in topological position; source
+    /// roots flip the golden boundary value in place
+    /// ([`SimState::flip_frontier`]), which the next cycle's lazy golden
+    /// refresh undoes — mirroring how the full evaluation's driver
+    /// overwrites it.
+    pub fn eval_forced_frontier(
+        &mut self,
+        cone: &Cone,
+        fs: &mut FrontierScratch,
+        row: &[u64],
+        mask: u64,
+    ) {
+        match cone.forced_split {
+            None => {
+                self.flip_frontier(cone, fs, row, mask);
+                Self::propagate(&mut self.values, cone, fs, row, None);
+            }
+            Some(split) => {
+                fs.schedule(split);
+                Self::propagate(&mut self.values, cone, fs, row, Some((split, mask)));
+            }
+        }
+    }
+
+    /// Drain the frontier worklist in ascending (= topological) op
+    /// order. Scheduling during the scan only ever adds ops *after* the
+    /// current position, because a reader is levelized after its driver.
+    fn propagate(
+        values: &mut [u64],
+        cone: &Cone,
+        fs: &mut FrontierScratch,
+        row: &[u64],
+        forced: Option<(u32, u64)>,
+    ) {
+        if fs.q_lo == u32::MAX {
+            return;
+        }
+        let mut w = (fs.q_lo / 64) as usize;
+        loop {
+            if w > (fs.q_hi / 64) as usize {
+                break;
+            }
+            // Re-read the word every pop: an evaluated op may schedule a
+            // reader in this same word (at a higher bit).
+            let bits = fs.queue[w];
+            if bits == 0 {
+                w += 1;
+                continue;
+            }
+            let b = bits.trailing_zeros();
+            fs.queue[w] &= !(1u64 << b);
+            let j = (w as u32) * 64 + b;
+            let op = &cone.ops[j as usize];
+            // Lazy golden refresh: clean operands provably hold the
+            // golden value, but their stored word may be stale.
+            for n in [op.a, op.b, op.c] {
+                if !fs.is_dirty(n) {
+                    values[n as usize] = row_broadcast(row, n);
+                }
+            }
+            let a = values[op.a as usize];
+            let bv = values[op.b as usize];
+            let c = values[op.c as usize];
+            let mut out = op.kind.eval(a, bv, c);
+            if let Some((fj, mask)) = forced {
+                if fj == j {
+                    out ^= mask;
+                }
+            }
+            fs.ops_evaluated += 1;
+            fs.cycle_ops += 1;
+            values[op.out as usize] = out;
+            if out != row_broadcast(row, op.out) {
+                fs.spread(cone, op.out);
+            }
+        }
+        fs.q_lo = u32::MAX;
+        fs.q_hi = 0;
+    }
+
+    /// Event-driven [`SimState::tick_cone`]: only flip-flops whose D net
+    /// diverged this cycle latch (everything else provably latches its
+    /// golden value), and the per-lane divergence mask entering the next
+    /// cycle falls out of the latch loop for free.
+    ///
+    /// Returns the lane mask that differs from golden entering the next
+    /// cycle — bit-identical to [`SimState::diff_lanes_cone`] against
+    /// the golden state journal, without the O(|cone FFs|) scan: a lane
+    /// differs entering cycle `c+1` iff some flip-flop latched a
+    /// non-golden bit for it, and only `latch`-listed flip-flops can.
+    /// Flip-flops that latch golden again are dropped from the frontier;
+    /// an empty frontier therefore *is* all-lane convergence.
+    ///
+    /// `next_row` is the golden journal row of the next cycle (`None` on
+    /// the final cycle, where nothing needs seeding).
+    pub fn tick_frontier(
+        &mut self,
+        cone: &Cone,
+        fs: &mut FrontierScratch,
+        next_row: Option<&[u64]>,
+    ) -> u64 {
+        debug_assert!(fs.q_lo == u32::MAX, "tick with an undrained frontier");
+        fs.peak = fs.peak.max(fs.cycle_ops);
+        fs.last_cycle_ops = fs.cycle_ops;
+        fs.cycle_ops = 0;
+
+        // Two-phase latch of the dirty flip-flops only: capture all D
+        // words first so Q-to-D shift chains see pre-edge values.
+        let n = fs.latch.len();
+        fs.capture.clear();
+        for i in 0..n {
+            fs.capture
+                .push(self.values[cone.ff_d[fs.latch[i] as usize] as usize]);
+        }
+
+        // This cycle's dirty marks expire at the edge; next cycle's are
+        // re-seeded below from what actually latched non-golden.
+        for &net in &fs.dirty_nets {
+            fs.dirty[(net / 64) as usize] &= !(1u64 << (net % 64));
+        }
+        fs.dirty_nets.clear();
+        for i in 0..n {
+            let k = fs.latch[i];
+            fs.latched[(k / 64) as usize] &= !(1u64 << (k % 64));
+        }
+
+        let mut diff = 0u64;
+        for i in 0..n {
+            let k = fs.latch[i] as usize;
+            let v = fs.capture[i];
+            self.values[cone.ff_q[k] as usize] = v;
+            if let Some(next_row) = next_row {
+                let q = cone.ff_q[k];
+                let d = v ^ row_broadcast(next_row, q);
+                diff |= d;
+                if d != 0 {
+                    // Still divergent: seed the next cycle's frontier
+                    // (readers of Q, and Q-to-D latch chains). May push
+                    // onto `fs.latch` beyond `n`.
+                    fs.spread(cone, q);
+                }
+            }
+        }
+        fs.latch.drain(..n);
+        self.cycle += 1;
         diff
     }
 

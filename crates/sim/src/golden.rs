@@ -134,6 +134,16 @@ impl NetJournal {
         let row = self.row(cycle);
         (row[net.index() / 64] >> (net.index() % 64)) & 1 == 1
     }
+
+    /// Golden value of one net during `cycle`, broadcast to all 64
+    /// lanes (all-ones when the net is high, zero when low). This is
+    /// the frontier path's lazy-refresh primitive: clean faulty-state
+    /// nets are reconstructed from the journal on demand instead of
+    /// being swept in every cycle.
+    pub fn net_broadcast(&self, cycle: u64, net: ffr_netlist::NetId) -> u64 {
+        let row = self.row(cycle);
+        ((row[net.index() / 64] >> (net.index() % 64)) & 1).wrapping_neg()
+    }
 }
 
 /// Legacy alias kept for API compatibility: a journal entry used as an

@@ -32,7 +32,7 @@ pub mod vcd;
 
 pub use activity::ActivityTrace;
 pub use compile::{CompiledCircuit, Cone, FaultSite, SimError};
-pub use engine::SimState;
+pub use engine::{FrontierScratch, SimState};
 pub use golden::{Checkpoint, GoldenRun, NetJournal, StateJournal};
 pub use testbench::{
     run_testbench, InputFrame, LaneView, OutputTrace, Stimulus, TestbenchRun, WatchList,

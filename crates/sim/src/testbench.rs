@@ -200,6 +200,30 @@ impl OutputTrace {
         self.data.resize((end - start) as usize * width, 0);
     }
 
+    /// Re-initialize the trace in place to `source`'s contents over
+    /// `start..source.end` — the frontier batch loop seeds the faulty
+    /// trace with the golden trace in one bulk copy, then overwrites only
+    /// the rows where a watched output actually deviates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is outside `source`'s range or the widths would
+    /// differ.
+    pub fn reset_from(&mut self, source: &OutputTrace, start: u64) {
+        assert!(
+            start >= source.start && start <= source.end,
+            "cycle {start} outside source trace range {}..{}",
+            source.start,
+            source.end
+        );
+        self.start = start;
+        self.end = source.end;
+        self.width = source.width;
+        let from = (start - source.start) as usize * source.width;
+        self.data.clear();
+        self.data.extend_from_slice(&source.data[from..]);
+    }
+
     /// All watched-output words of one cycle, in watch-list order.
     ///
     /// # Panics

@@ -11,8 +11,8 @@
 
 use ffr_netlist::{Bus, FfId, NetId, NetlistBuilder};
 use ffr_sim::{
-    CompiledCircuit, Cone, FaultSite, GoldenRun, InputFrame, NetJournal, SimState, Stimulus,
-    WatchList,
+    CompiledCircuit, Cone, FaultSite, FrontierScratch, GoldenRun, InputFrame, NetJournal, SimState,
+    Stimulus, WatchList,
 };
 use proptest::prelude::*;
 
@@ -114,12 +114,20 @@ proptest! {
         let mut cstate = SimState::new(&cc);
         cstate.load_cone_state_broadcast(&cone, golden.journal.state_at(t0));
         cstate.set_cycle(t0);
+        // Third contender: event-driven frontier evaluation. No state is
+        // loaded at all — everything is golden (= clean) until the first
+        // injection seeds the worklist.
+        let mut fstate = SimState::new(&cc);
+        let mut fs = FrontierScratch::new();
+        fs.attach(&cone);
+        fstate.set_cycle(t0);
 
         for cycle in t0..cycles {
             frame.clear();
             stim.drive(cycle, &mut frame);
             frame.apply(&cc, &mut full);
-            cstate.load_boundary(&cone, netj.row(cycle));
+            let row = netj.row(cycle);
+            cstate.load_boundary(&cone, row);
 
             let mut mask = 0u64;
             for (lane, &t) in times.iter().enumerate() {
@@ -132,17 +140,21 @@ proptest! {
                     if mask != 0 {
                         full.flip_ff(&cc, ff, mask);
                         cstate.flip_ff(&cc, ff, mask);
+                        fstate.flip_frontier(&cone, &mut fs, row, mask);
                     }
                     full.eval(&cc);
                     cstate.eval_cone(&cone);
+                    fstate.eval_frontier(&cone, &mut fs, row);
                 }
                 Target::Set(site) => {
                     if mask != 0 {
                         full.eval_forced_site(&cc, site, mask);
                         cstate.eval_forced_cone(&cone, mask);
+                        fstate.eval_forced_frontier(&cone, &mut fs, row, mask);
                     } else {
                         full.eval(&cc);
                         cstate.eval_cone(&cone);
+                        fstate.eval_frontier(&cone, &mut fs, row);
                     }
                 }
             }
@@ -157,19 +169,39 @@ proptest! {
                     golden.trace.word(w, cycle)
                 };
                 prop_assert_eq!(want, got, "output {} at cycle {}", w, cycle);
+                // Frontier: only dirty nets can deviate; clean or
+                // out-of-cone outputs are golden by construction.
+                let net = cc.output_net(po);
+                let fgot = if cone.may_differ(net) && fs.net_dirty(net) {
+                    fstate.output_word(&cc, po)
+                } else {
+                    golden.trace.word(w, cycle)
+                };
+                prop_assert_eq!(want, fgot, "frontier output {} at cycle {}", w, cycle);
             }
 
             full.tick(&cc);
             cstate.tick_cone(&cone);
 
             let next = cycle + 1;
+            let fdiff = fstate.tick_frontier(
+                &cone,
+                &mut fs,
+                if next < cycles { Some(netj.row(next)) } else { None },
+            );
             if next < cycles {
                 let packed = golden.journal.state_at(next);
-                // Convergence detection sees identical lane diffs.
+                // Convergence detection sees identical lane diffs — the
+                // frontier derives its mask from the latch loop alone.
                 prop_assert_eq!(
                     full.diff_lanes(&cc, packed),
                     cstate.diff_lanes_cone(&cone, packed),
                     "diff mask entering cycle {}", next
+                );
+                prop_assert_eq!(
+                    full.diff_lanes(&cc, packed),
+                    fdiff,
+                    "frontier diff mask entering cycle {}", next
                 );
                 // Overlaying the cone flip-flops on the golden row
                 // reconstructs the full packed state of any lane.
