@@ -12,6 +12,9 @@
 //!   (per-worker throughput, phase spans, latency histograms),
 //! * `ffr estimate` — ML model selection + FDR prediction for the
 //!   flip-flops a budgeted campaign did not measure,
+//! * `ffr transfer` — cross-circuit estimation: train on the measured
+//!   tables of ≥2 circuits, predict an unseen circuit with zero
+//!   injections,
 //! * `ffr report`   — render the finished FDR table (and estimate),
 //! * `ffr gc`       — sweep the artifact store and/or expired leases.
 //!
@@ -50,6 +53,8 @@ USAGE:
     ffr stats    --campaign <dir> [--json]
     ffr estimate --out <dir> [estimate options]
     ffr estimate --circuit <name> --store <dir> [run options] [estimate options]
+    ffr transfer --train <spec,spec,…> --eval <spec> --store <dir>
+                 [campaign options] [estimate options] [--out <file>]
     ffr report   --out <dir>
     ffr gc       [--store <dir>] [--max-age-days D | --all] [--campaign <dir>]
 
@@ -74,7 +79,12 @@ WORKER OPTIONS:
     bootstrap an uninitialized campaign directory
 
 RUN OPTIONS:
-    --circuit <name>        counter | lfsr | alu | traffic | mac-small | mac
+    --circuit <spec>        counter | lfsr | alu | traffic | mac-small | mac
+                            | corpus:<id> (generated corpus circuit, e.g.
+                              corpus:fifo2x4 — `cnt<w>`, `lfsr<w>x<d>`,
+                              `alu<w>`, `fifo<a>x<w>`, `crc<w>`,
+                              `regfile<a>x<w>`, `mix<n>s<seed>`)
+                            | verilog:<path> (structural Verilog import)
     --fault <model>         seu (flip-flop upsets, default) | set
                             (combinational-net transients)
     --out <dir>             session directory (checkpoint + results)
@@ -106,6 +116,17 @@ ESTIMATE OPTIONS:
     --grid <n>              hyperparameter candidates per model [default: 3]
     --store <dir>           artifact store override
     --force                 recompute even if a report is cached
+
+TRANSFER OPTIONS:
+    --train <spec,spec,…>   ≥2 training circuit specs, each measured by a
+                            prior `ffr run` with the same campaign flags
+    --eval <spec>           target circuit: per-FF FDRs are predicted from
+                            features alone (zero injections; one golden
+                            simulation supplies the dynamic features)
+    --out <file>            also write the TransferReport JSON (+ .csv)
+    campaign options (--seed, --cycles, --policy, …) select which measured
+    campaigns to train on; estimate options (--models, --grid, --cv-seed)
+    control model selection (CV folds are leave-one-circuit-out)
 ";
 
 /// Parsed `--flag value` arguments (shared with the `ffrd` entry
@@ -273,6 +294,15 @@ fn run_request_from_args(args: &mut Args) -> Result<RunRequest, String> {
         .ok_or("--circuit is required")?
         .parse()?;
     let mut request = RunRequest::new(circuit);
+    apply_campaign_flags(args, &mut request)?;
+    Ok(request)
+}
+
+/// Apply the campaign flags (everything except `--circuit`) to a
+/// request. `ffr transfer` uses this on a template request that is then
+/// cloned per circuit, so one set of campaign parameters fingerprints
+/// every train/eval campaign identically.
+fn apply_campaign_flags(args: &mut Args, request: &mut RunRequest) -> Result<(), String> {
     if let Some(fault) = args.value("fault")? {
         request.fault = FaultKind::parse_cli(&fault)?;
     }
@@ -311,7 +341,7 @@ fn run_request_from_args(args: &mut Args) -> Result<RunRequest, String> {
     if let Some(every) = args.parsed::<usize>("checkpoint-every")? {
         request.checkpoint_every = every.max(1);
     }
-    Ok(request)
+    Ok(())
 }
 
 fn cmd_run(mut args: Args) -> Result<i32, String> {
@@ -591,6 +621,89 @@ fn cmd_estimate(mut args: Args) -> Result<i32, String> {
     Ok(0)
 }
 
+fn cmd_transfer(mut args: Args) -> Result<i32, String> {
+    let train_list = args.value("train")?.ok_or("--train is required")?;
+    let eval_spec = args.value("eval")?.ok_or("--eval is required")?;
+    let out = args.value("out")?.map(PathBuf::from);
+    let mut options = estimate_options_from_args(&mut args)?;
+    // One set of campaign flags parameterizes every circuit, so the
+    // train fingerprints match the `ffr run`s that measured them.
+    let mut template = RunRequest::new(eval_spec.parse()?);
+    apply_campaign_flags(&mut args, &mut template)?;
+    args.finish()?;
+    options.store = template.store.clone();
+    let train: Vec<RunRequest> = train_list
+        .split(',')
+        .map(|spec| -> Result<RunRequest, String> {
+            let mut request = template.clone();
+            request.circuit = spec.trim().parse()?;
+            request.circuit.validate_sources()?;
+            Ok(request)
+        })
+        .collect::<Result<_, _>>()?;
+    template.circuit.validate_sources()?;
+
+    let summary = crate::transfer::transfer_from_store(&train, &template, &options)
+        .map_err(|e| e.to_string())?;
+    let report = &summary.report;
+    if summary.report_from_cache {
+        println!("served from artifact cache: no model was refitted");
+    }
+    println!(
+        "transfer: {} training circuits, {} measured flip-flops, {} injections spent",
+        report.train.len(),
+        report.train_rows,
+        report.injections_spent
+    );
+    println!(
+        "  {:<22} {:<26} {:>7} {:>7} {:>7}",
+        "model", "best params", "MAE", "RMSE", "R2"
+    );
+    for m in &report.models {
+        let marker = if m.model == report.best_model {
+            '*'
+        } else {
+            ' '
+        };
+        println!(
+            "{marker} {:<22} {:<26} {:>7.3} {:>7.3} {:>7.3}",
+            m.display_name, m.best_params, m.cv_mae, m.cv_rmse, m.cv_r2
+        );
+    }
+    println!(
+        "model selection: {} CV (held-out circuits only)",
+        report.cv_protocol
+    );
+    println!("\nper-circuit holdout quality of the winner:");
+    for t in &report.train {
+        println!(
+            "  {:<18} {:>4} FFs  MAE {:>6.3}  R2 {:>7.3}  FFR {:.4} vs measured {:.4}",
+            t.circuit, t.measured_ffs, t.holdout_mae, t.holdout_r2, t.predicted_ffr, t.measured_ffr
+        );
+    }
+    println!(
+        "\npredicted FFR of {}: {:.4} over {} flip-flops ({} injections on the target)",
+        report.eval_circuit, report.predicted_ffr, report.eval_total_ffs, report.eval_injections
+    );
+    if let Some(r) = &report.reference {
+        println!(
+            "measured reference: FFR {:.4} ({} FFs) — MAE {:.3}, RMSE {:.3}, R2 {:.3}, ΔFFR {:+.4}",
+            r.measured_ffr, r.measured_ffs, r.mae, r.rmse, r.r2, r.ffr_delta
+        );
+    }
+    if let Some(out) = out {
+        report.save_json(&out).map_err(|e| e.to_string())?;
+        let csv = out.with_extension("csv");
+        crate::store::atomic_write(&csv, &report.to_csv()).map_err(|e| e.to_string())?;
+        println!(
+            "transfer report written to {} (+ {})",
+            out.display(),
+            csv.display()
+        );
+    }
+    Ok(0)
+}
+
 fn cmd_report(mut args: Args) -> Result<i32, String> {
     let out: PathBuf = args.value("out")?.ok_or("--out is required")?.into();
     args.finish()?;
@@ -735,6 +848,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
         "status" => cmd_status(parsed),
         "stats" => cmd_stats(parsed),
         "estimate" => cmd_estimate(parsed),
+        "transfer" => cmd_transfer(parsed),
         "report" => cmd_report(parsed),
         "gc" => cmd_gc(parsed),
         "help" | "--help" | "-h" => {

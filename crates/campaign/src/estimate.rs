@@ -493,7 +493,7 @@ fn estimate_impl(
 /// and published back. The cache key covers the netlist structure, the
 /// stimulus configuration and the feature schema version, so a schema
 /// bump or stimulus change invalidates cleanly.
-fn load_or_extract_features(
+pub(crate) fn load_or_extract_features(
     prepared: &PreparedCircuit,
     store: Option<&ArtifactStore>,
 ) -> io::Result<(FeatureMatrix, bool)> {

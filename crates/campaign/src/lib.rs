@@ -93,6 +93,7 @@ pub mod spec;
 pub mod stats;
 pub mod status;
 pub mod store;
+pub mod transfer;
 pub mod work;
 
 pub use adaptive::{AdaptivePolicy, CHUNK_INJECTIONS};
@@ -111,5 +112,9 @@ pub use stats::{CampaignStats, SpanStats, WorkerStats, STATS_SCHEMA_VERSION};
 pub use status::{gather_status, StatusReport, STATUS_SCHEMA_VERSION};
 pub use store::{
     ArtifactInfo, ArtifactKind, ArtifactStore, GcReport, LocalDirBackend, StoreBackend, StoreKey,
+};
+pub use transfer::{
+    transfer_from_store, ReferenceComparison, TrainCircuitReport, TransferFfRow, TransferReport,
+    TransferSummary, TRANSFER_VERSION,
 };
 pub use work::{CursorSource, LeaseQueue, LeaseRecord, WorkSource};

@@ -443,7 +443,7 @@ fn validate_request(request: &RunRequest) -> io::Result<()> {
             request.budget
         )));
     }
-    Ok(())
+    request.circuit.validate_sources().map_err(io::Error::other)
 }
 
 /// The manifest a request produces (pure; shared by `run` and `worker`

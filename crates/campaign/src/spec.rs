@@ -9,11 +9,14 @@
 //! string that feeds the artifact-store key, so every knob that changes
 //! campaign results changes the cache address.
 
+use ffr_circuits::corpus::{self, Corpus, CorpusSpec};
 use ffr_circuits::{small, Mac10geConfig, MacJudge, MacTestbench, PacketExtractor, TrafficConfig};
 use ffr_fault::{FailureClass, FailureJudge, OutputMismatchJudge};
+use ffr_netlist::verilog;
 use ffr_sim::{CompiledCircuit, GoldenRun, InputFrame, LaneView, Stimulus, WatchList};
 use std::fmt;
 use std::ops::Range;
+use std::path::PathBuf;
 use std::str::FromStr;
 
 /// A named circuit the CLI can run campaigns on.
@@ -42,11 +45,32 @@ pub enum CircuitSpec {
     MacSmall,
     /// The 10GE-MAC-like design at the paper's scale (~1054 FFs).
     Mac,
+    /// A corpus-catalog circuit (`corpus:<id>`, e.g. `corpus:fifo2x4`) —
+    /// any [`Corpus::standard`] entry or valid [`CorpusSpec`] id.
+    Corpus {
+        /// Corpus id (see [`ffr_circuits::corpus`]).
+        id: String,
+    },
+    /// A structural-Verilog design imported from a file
+    /// (`verilog:<path>`), routed through the corpus import path.
+    Verilog {
+        /// Path to the Verilog source.
+        path: PathBuf,
+    },
 }
 
 impl CircuitSpec {
     /// Every recognised circuit name, for help output.
-    pub const NAMES: [&'static str; 6] = ["counter", "lfsr", "alu", "traffic", "mac-small", "mac"];
+    pub const NAMES: [&'static str; 8] = [
+        "counter",
+        "lfsr",
+        "alu",
+        "traffic",
+        "mac-small",
+        "mac",
+        "corpus",
+        "verilog",
+    ];
 
     /// Canonical name of the spec (without parameters).
     pub fn name(&self) -> &'static str {
@@ -57,6 +81,8 @@ impl CircuitSpec {
             CircuitSpec::TrafficLight => "traffic",
             CircuitSpec::MacSmall => "mac-small",
             CircuitSpec::Mac => "mac",
+            CircuitSpec::Corpus { .. } => "corpus",
+            CircuitSpec::Verilog { .. } => "verilog",
         }
     }
 
@@ -70,6 +96,8 @@ impl CircuitSpec {
             CircuitSpec::TrafficLight => "traffic".to_string(),
             CircuitSpec::MacSmall => "mac-small".to_string(),
             CircuitSpec::Mac => "mac".to_string(),
+            CircuitSpec::Corpus { id } => format!("corpus:{id}"),
+            CircuitSpec::Verilog { path } => format!("verilog:{}", path.display()),
         }
     }
 
@@ -116,7 +144,46 @@ impl CircuitSpec {
                 stim_seed,
                 "mac",
             ),
+            CircuitSpec::Corpus { id } => {
+                let netlist = corpus::resolve(id)
+                    .unwrap_or_else(|e| panic!("corpus id validated at parse time: {e}"));
+                self.prepare_small(netlist, stim_seed, cycles, format!("circuit=corpus:{id}"))
+            }
+            CircuitSpec::Verilog { path } => {
+                let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    panic!("cannot read Verilog source `{}`: {e}", path.display())
+                });
+                let netlist = verilog::parse(&source).unwrap_or_else(|e| {
+                    panic!("cannot parse Verilog source `{}`: {e}", path.display())
+                });
+                // Key the store entry on design content, not the path: the
+                // same file moved elsewhere must hit the same cache entry,
+                // and an edited file must miss.
+                let desc = format!(
+                    "circuit=verilog;module={};hash={:016x}",
+                    netlist.name(),
+                    netlist.content_hash()
+                );
+                self.prepare_small(netlist, stim_seed, cycles, desc)
+            }
         }
+    }
+
+    /// Validate the parts of a spec that touch the environment (the
+    /// Verilog source file) without building anything — called by the
+    /// session layer so CLI users get an error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the missing/invalid source.
+    pub fn validate_sources(&self) -> Result<(), String> {
+        if let CircuitSpec::Verilog { path } = self {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read Verilog source `{}`: {e}", path.display()))?;
+            verilog::parse(&source)
+                .map_err(|e| format!("cannot parse Verilog source `{}`: {e}", path.display()))?;
+        }
+        Ok(())
     }
 
     fn prepare_small(
@@ -181,8 +248,32 @@ impl FromStr for CircuitSpec {
 
     /// Parse `name[:param[:param]]`: `counter[:width]`,
     /// `lfsr[:width[:depth]]`, `alu[:width]`, `traffic`, `mac-small`,
-    /// `mac`. LFSR widths are limited by the tap table (4, 8, 16, 24, 32).
+    /// `mac`, `corpus:<id>`, `verilog:<path>`. LFSR widths are limited by
+    /// the tap table (4, 8, 16, 24, 32).
     fn from_str(s: &str) -> Result<CircuitSpec, String> {
+        // Corpus ids and file paths have their own grammars; take the
+        // whole remainder after the first `:` (paths may contain `:`).
+        if let Some(rest) = s.strip_prefix("corpus:") {
+            // Accept any id `prepare` can resolve: standard catalog
+            // entries or parametric generator ids.
+            if Corpus::standard().get(rest).is_none() {
+                CorpusSpec::parse(rest)?;
+            }
+            return Ok(CircuitSpec::Corpus {
+                id: rest.to_string(),
+            });
+        }
+        if let Some(rest) = s.strip_prefix("verilog:") {
+            if rest.is_empty() {
+                return Err("verilog spec needs a file path (verilog:<path>)".to_string());
+            }
+            return Ok(CircuitSpec::Verilog {
+                path: PathBuf::from(rest),
+            });
+        }
+        if s == "corpus" || s == "verilog" {
+            return Err(format!("`{s}` needs a parameter (`{s}:<...>`)"));
+        }
         let mut parts = s.split(':');
         let name = parts.next().unwrap_or_default();
         let mut param = |default: usize| -> Result<usize, String> {
@@ -350,7 +441,15 @@ mod tests {
             if name.starts_with("mac") {
                 continue; // covered separately; slower to elaborate
             }
-            let spec: CircuitSpec = name.parse().unwrap();
+            if name == "verilog" {
+                continue; // needs a source file; covered below
+            }
+            let full = if name == "corpus" {
+                "corpus:fifo2x4"
+            } else {
+                name
+            };
+            let spec: CircuitSpec = full.parse().unwrap();
             assert_eq!(spec.name(), name);
             let prepared = spec.prepare(1, 200);
             assert!(prepared.cc.num_ffs() > 0);
@@ -361,6 +460,51 @@ mod tests {
                 .contains(name.split('-').next().unwrap()));
         }
         assert!("bogus".parse::<CircuitSpec>().is_err());
+    }
+
+    #[test]
+    fn corpus_specs_parse_and_round_trip() {
+        // A standard catalog id and an off-catalog parametric id.
+        for id in ["fifo2x4", "cnt5", "mix2s99"] {
+            let s = format!("corpus:{id}");
+            let spec: CircuitSpec = s.parse().unwrap();
+            assert_eq!(spec.spec_string(), s);
+            let prepared = spec.prepare(1, 200);
+            assert!(prepared.cc.num_ffs() > 0);
+            assert!(prepared.config_desc.contains(&s));
+        }
+        assert!("corpus:nope1".parse::<CircuitSpec>().is_err());
+        assert!("corpus".parse::<CircuitSpec>().is_err());
+    }
+
+    #[test]
+    fn verilog_specs_prepare_from_a_file() {
+        use ffr_netlist::verilog;
+        let dir = std::env::temp_dir().join(format!("ffr_spec_verilog_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cnt.v");
+        let netlist = small::counter_circuit(5);
+        std::fs::write(&path, verilog::emit(&netlist)).unwrap();
+
+        let s = format!("verilog:{}", path.display());
+        let spec: CircuitSpec = s.parse().unwrap();
+        assert_eq!(spec.spec_string(), s);
+        spec.validate_sources().unwrap();
+        let prepared = spec.prepare(1, 200);
+        assert_eq!(prepared.cc.num_ffs(), netlist.num_ffs());
+        // The cache key carries the content hash, not the path.
+        assert!(prepared
+            .config_desc
+            .contains(&format!("hash={:016x}", netlist.content_hash())));
+        assert!(!prepared.config_desc.contains("cnt.v"));
+
+        let missing = CircuitSpec::Verilog {
+            path: dir.join("missing.v"),
+        };
+        assert!(missing.validate_sources().is_err());
+        assert!("verilog".parse::<CircuitSpec>().is_err());
+        assert!("verilog:".parse::<CircuitSpec>().is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -194,11 +194,13 @@ pub enum ArtifactKind {
     Report,
     /// A policy accuracy-vs-cost study (`ffr-bench --bin policy_study`).
     PolicyStudy,
+    /// A cross-circuit transfer report (`ffr transfer`).
+    Transfer,
 }
 
 impl ArtifactKind {
     /// All kinds, for directory scans.
-    pub const ALL: [ArtifactKind; 8] = [
+    pub const ALL: [ArtifactKind; 9] = [
         ArtifactKind::GoldenRun,
         ArtifactKind::NetJournal,
         ArtifactKind::FdrTable,
@@ -207,6 +209,7 @@ impl ArtifactKind {
         ArtifactKind::Dataset,
         ArtifactKind::Report,
         ArtifactKind::PolicyStudy,
+        ArtifactKind::Transfer,
     ];
 
     /// `true` for kinds written with the deflate-compressed v2 envelope.
@@ -231,6 +234,7 @@ impl ArtifactKind {
             ArtifactKind::Dataset => "dataset",
             ArtifactKind::Report => "report",
             ArtifactKind::PolicyStudy => "policy-study",
+            ArtifactKind::Transfer => "transfer",
         }
     }
 }

@@ -1,0 +1,649 @@
+//! `ffr transfer` — cross-circuit FDR estimation with zero injections.
+//!
+//! The estimate stage trains and predicts within one circuit. This module
+//! answers the harder generality question (the train-on-A/B, predict-on-C
+//! protocol of "Cross-Layer Reliability … ML-Based Compact Models"):
+//!
+//! 1. load the **measured** FDR tables + feature matrices of the training
+//!    circuits from the artifact store (they must have been measured by
+//!    `ffr run` with the same campaign parameters),
+//! 2. align the feature matrices under one verified schema
+//!    ([`ffr_features::align`]) and stack the measured rows with
+//!    per-circuit group labels,
+//! 3. select a model by **leave-one-circuit-out** cross-validation
+//!    ([`GroupKFold`]) — every candidate is scored only on circuits it
+//!    never trained on, the honest proxy for the transfer task,
+//! 4. train the winner on all measured rows and predict the per-FF FDR of
+//!    the evaluation circuit from its features alone — **zero fault
+//!    injections** on the target (one golden simulation supplies the
+//!    dynamic feature columns),
+//! 5. emit a versioned [`TransferReport`]: per-train-circuit holdout
+//!    metrics, the predicted FDR of every target flip-flop, the predicted
+//!    circuit FFR, and — when the store happens to hold a measured table
+//!    for the target — the measured-reference comparison.
+//!
+//! Everything downstream of the tables is a pure function of fixed seeds,
+//! so rerunning produces a **byte-identical** report; asserted end-to-end
+//! by `crates/campaign/tests/cli_transfer.rs`.
+
+use crate::estimate::{load_or_extract_features, EstimateOptions, ModelReport};
+use crate::session::{self, RunRequest};
+use crate::store::{ArtifactKind, ArtifactStore, StoreKey};
+use ffr_fault::{FaultKind, FdrTable};
+use ffr_ml::model_selection::{grid_search, GroupKFold};
+use ffr_ml::RegressionScores;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Transfer report format version; bump on breaking shape changes.
+pub const TRANSFER_VERSION: u32 = 1;
+
+/// One training circuit's contribution and holdout quality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainCircuitReport {
+    /// Circuit spec string (`corpus:fifo2x4`, `mac-small`, …).
+    pub circuit: String,
+    /// Campaign fingerprint its FDR table was loaded under.
+    pub fingerprint: String,
+    /// Measured (fault-injected) flip-flops contributed to training.
+    pub measured_ffs: usize,
+    /// All flip-flops of the circuit.
+    pub total_ffs: usize,
+    /// Fault-injection simulations its campaign spent.
+    pub injections_spent: usize,
+    /// Holdout MAE: the winning model trained on the *other* circuits,
+    /// scored on this circuit's measured rows.
+    pub holdout_mae: f64,
+    /// Holdout RMSE under the same protocol.
+    pub holdout_rmse: f64,
+    /// Holdout R² under the same protocol.
+    pub holdout_r2: f64,
+    /// Mean measured FDR of this circuit's measured subset.
+    pub measured_ffr: f64,
+    /// Mean predicted FDR over the same rows (model never saw them).
+    pub predicted_ffr: f64,
+    /// `predicted_ffr - measured_ffr`.
+    pub ffr_delta: f64,
+}
+
+/// Comparison of the zero-injection prediction against a measured
+/// reference table of the evaluation circuit (only present when the
+/// store already holds one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceComparison {
+    /// Measured flip-flops in the reference table.
+    pub measured_ffs: usize,
+    /// Mean measured FDR of the reference subset.
+    pub measured_ffr: f64,
+    /// MAE of predictions vs measurements over the reference subset.
+    pub mae: f64,
+    /// RMSE over the reference subset.
+    pub rmse: f64,
+    /// R² over the reference subset.
+    pub r2: f64,
+    /// `predicted_ffr - measured_ffr` (circuit level).
+    pub ffr_delta: f64,
+}
+
+/// One predicted flip-flop of the evaluation circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferFfRow {
+    /// Flip-flop instance name.
+    pub ff: String,
+    /// Flip-flop index (`FfId` order).
+    pub index: usize,
+    /// Predicted Functional De-Rating factor (clamped to `[0, 1]`).
+    pub fdr: f64,
+}
+
+/// The complete output of one `ffr transfer` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Report format version ([`TRANSFER_VERSION`]).
+    pub version: u32,
+    /// Feature schema the matrices were aligned under.
+    pub schema: String,
+    /// Training circuits, in the order given on the command line.
+    pub train: Vec<TrainCircuitReport>,
+    /// Evaluation circuit spec string.
+    pub eval_circuit: String,
+    /// Campaign fingerprint a measurement of the evaluation circuit
+    /// would run under (used to look up the reference table).
+    pub eval_fingerprint: String,
+    /// Flip-flops of the evaluation circuit (all predicted).
+    pub eval_total_ffs: usize,
+    /// Cross-validation protocol used for model selection
+    /// (`loco:<n circuits>`).
+    pub cv_protocol: String,
+    /// Fold-assignment seed (stratified tie-breaking inherits it).
+    pub cv_seed: u64,
+    /// Per-model cross-circuit CV results, in evaluation order.
+    pub models: Vec<ModelReport>,
+    /// CLI token of the winning model (highest leave-one-circuit-out R²).
+    pub best_model: String,
+    /// Stacked measured rows the winner trained on.
+    pub train_rows: usize,
+    /// Total fault injections spent by the training campaigns.
+    pub injections_spent: usize,
+    /// Fault injections spent on the evaluation circuit: always 0.
+    pub eval_injections: usize,
+    /// Predicted circuit-level FFR of the evaluation circuit (mean
+    /// predicted FDR, uniform raw SEU rate per flip-flop).
+    pub predicted_ffr: f64,
+    /// Measured-reference comparison, when the store holds a table.
+    pub reference: Option<ReferenceComparison>,
+    /// Per-flip-flop predictions, in `FfId` order.
+    pub per_ff: Vec<TransferFfRow>,
+}
+
+impl TransferReport {
+    /// Render the per-flip-flop predictions as CSV (`ff,index,fdr`).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("ff,index,fdr\n");
+        for row in &self.per_ff {
+            let _ = writeln!(out, "{},{},{:.6}", row.ff, row.index, row.fdr);
+        }
+        out
+    }
+
+    /// Save as pretty JSON (atomic rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save_json(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        crate::store::atomic_write(path, &json)
+    }
+
+    /// Load a report written by [`TransferReport::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, undecodable files or a version mismatch (the
+    /// version is probed before full deserialization).
+    pub fn load_json(path: &Path) -> io::Result<TransferReport> {
+        let text = std::fs::read_to_string(path)?;
+        match crate::store::probe_version(&text) {
+            Some(v) if v != TRANSFER_VERSION as u64 => {
+                return Err(io::Error::other(format!(
+                    "transfer report version {v} unsupported (expected {TRANSFER_VERSION})"
+                )))
+            }
+            _ => {}
+        }
+        serde_json::from_str(&text).map_err(io::Error::other)
+    }
+}
+
+/// Outcome summary of a transfer run.
+#[derive(Debug)]
+pub struct TransferSummary {
+    /// The computed (or cache-served) report.
+    pub report: TransferReport,
+    /// `true` if the report was served from the artifact store.
+    pub report_from_cache: bool,
+}
+
+/// One loaded training circuit: prepared design, measured table,
+/// verified features.
+struct TrainCircuit {
+    spec_string: String,
+    fingerprint: StoreKey,
+    table: FdrTable,
+    features: ffr_features::FeatureMatrix,
+    total_ffs: usize,
+}
+
+/// Run cross-circuit transfer estimation off the artifact store.
+///
+/// Every request in `train` must correspond to a completed `ffr run`
+/// whose final FDR table the store holds; `eval` only needs a golden
+/// simulation (computed and cached on the fly if absent). The report is
+/// cached in the store under [`ArtifactKind::Transfer`], keyed by the
+/// evaluation netlist plus every input fingerprint and knob.
+///
+/// # Errors
+///
+/// Fails on I/O errors, non-SEU requests, fewer than two distinct
+/// training circuits, a missing training table, or schema mismatches.
+pub fn transfer_from_store(
+    train: &[RunRequest],
+    eval: &RunRequest,
+    options: &EstimateOptions,
+) -> io::Result<TransferSummary> {
+    if options.models.is_empty() {
+        return Err(io::Error::other("no models selected"));
+    }
+    for request in train.iter().chain(std::iter::once(eval)) {
+        if request.fault != FaultKind::Seu {
+            return Err(io::Error::other(
+                "ffr transfer needs SEU campaigns (per-flip-flop FDR)",
+            ));
+        }
+    }
+    if train.len() < 2 {
+        return Err(io::Error::other(
+            "cross-circuit transfer needs at least 2 training circuits \
+             (leave-one-circuit-out model selection)",
+        ));
+    }
+    let eval_spec = eval.circuit.spec_string();
+    for (i, a) in train.iter().enumerate() {
+        if a.circuit.spec_string() == eval_spec {
+            return Err(io::Error::other(format!(
+                "evaluation circuit `{eval_spec}` is also a training circuit — \
+                 transfer must predict an unseen circuit"
+            )));
+        }
+        for b in &train[..i] {
+            if a.circuit.spec_string() == b.circuit.spec_string() {
+                return Err(io::Error::other(format!(
+                    "training circuit `{}` given twice",
+                    a.circuit.spec_string()
+                )));
+            }
+        }
+    }
+
+    let store_path = options
+        .store
+        .clone()
+        .or_else(|| eval.store.clone())
+        .or_else(|| train.iter().find_map(|r| r.store.clone()))
+        .ok_or_else(|| io::Error::other("transfer requires --store"))?;
+    let store = ArtifactStore::open(&store_path)?;
+
+    // Load every training circuit: measured table + verified features.
+    let mut circuits = Vec::with_capacity(train.len());
+    for request in train {
+        let prepared = request.circuit.prepare(request.stim_seed, request.cycles);
+        let fingerprint = session::campaign_table_key(request, &prepared);
+        let table: FdrTable = store
+            .get(ArtifactKind::FdrTable, &fingerprint)?
+            .ok_or_else(|| {
+                io::Error::other(format!(
+                    "store {} holds no FDR table for training circuit `{}` \
+                     (fingerprint {fingerprint}) — run `ffr run` with the same \
+                     parameters first",
+                    store_path.display(),
+                    request.circuit.spec_string()
+                ))
+            })?;
+        let total_ffs = prepared.cc.num_ffs();
+        if table.num_ffs() != total_ffs {
+            return Err(io::Error::other(format!(
+                "FDR table of `{}` covers {} flip-flops but the circuit has {total_ffs}",
+                request.circuit.spec_string(),
+                table.num_ffs()
+            )));
+        }
+        if table.covered().count() < 2 {
+            return Err(io::Error::other(format!(
+                "training circuit `{}` has fewer than 2 measured flip-flops",
+                request.circuit.spec_string()
+            )));
+        }
+        let (features, _) = load_or_extract_features(&prepared, Some(&store))?;
+        circuits.push(TrainCircuit {
+            spec_string: request.circuit.spec_string(),
+            fingerprint,
+            table,
+            features,
+            total_ffs,
+        });
+    }
+
+    // The evaluation circuit needs features only (golden simulation, zero
+    // injections) — plus its campaign fingerprint for the report cache
+    // key and the optional measured reference.
+    let eval_prepared = eval.circuit.prepare(eval.stim_seed, eval.cycles);
+    let eval_fingerprint = session::campaign_table_key(eval, &eval_prepared);
+
+    // Report cache: keyed by the evaluation netlist plus every input
+    // fingerprint and estimation knob.
+    let model_names: Vec<&str> = options.models.iter().map(|m| m.cli_name()).collect();
+    let train_prints: Vec<String> = circuits.iter().map(|c| c.fingerprint.to_string()).collect();
+    let report_desc = format!(
+        "transfer;train={};of={eval_fingerprint};models={};cv_seed={};grid={};{};report_v={TRANSFER_VERSION}",
+        train_prints.join("+"),
+        model_names.join(","),
+        options.cv_seed,
+        options.grid_budget,
+        ffr_features::schema_desc()
+    );
+    let report_key = StoreKey::of(eval_prepared.cc.netlist(), &report_desc);
+    if !options.force {
+        if let Some(report) = store.get::<TransferReport>(ArtifactKind::Transfer, &report_key)? {
+            return Ok(TransferSummary {
+                report,
+                report_from_cache: true,
+            });
+        }
+    }
+
+    let (eval_features, _) = load_or_extract_features(&eval_prepared, Some(&store))?;
+    ffr_features::check_schema(&eval_features)
+        .map_err(|e| io::Error::other(format!("evaluation circuit `{eval_spec}`: {e}")))?;
+
+    // Align all training matrices under one schema, then keep only the
+    // measured rows (with their circuit group labels) for training.
+    let aligned = ffr_features::align(
+        &circuits
+            .iter()
+            .map(|c| (c.spec_string.clone(), c.features.clone()))
+            .collect::<Vec<_>>(),
+    )
+    .map_err(io::Error::other)?;
+    let measured_fdrs: Vec<std::collections::HashMap<usize, f64>> = circuits
+        .iter()
+        .map(|c| {
+            c.table
+                .covered()
+                .map(|r| (r.ff().index(), r.fdr()))
+                .collect()
+        })
+        .collect();
+    let mut tx: Vec<Vec<f64>> = Vec::new();
+    let mut ty: Vec<f64> = Vec::new();
+    let mut groups: Vec<usize> = Vec::new();
+    for (i, origin) in aligned.origins().iter().enumerate() {
+        let group = aligned.groups()[i];
+        if let Some(&fdr) = measured_fdrs[group].get(&origin.row) {
+            tx.push(aligned.rows()[i].clone());
+            ty.push(fdr);
+            groups.push(group);
+        }
+    }
+
+    // Model selection by leave-one-circuit-out CV: every candidate is
+    // scored only on circuits it never trained on.
+    let folds = GroupKFold::leave_one_out(&groups);
+    let cv_protocol = format!("loco:{}", circuits.len());
+    let mut model_reports = Vec::with_capacity(options.models.len());
+    let mut best: Option<(f64, ffr_core::ModelCandidate)> = None;
+    for &kind in &options.models {
+        let grid = kind.small_grid(options.grid_budget);
+        let search = grid_search(&grid, |c| c.build(), &tx, &ty, &folds);
+        let scores = search.best_scores;
+        model_reports.push(ModelReport {
+            model: kind.cli_name().to_string(),
+            display_name: kind.display_name().to_string(),
+            best_params: search.best_params.label().to_string(),
+            cv_mae: scores.mae,
+            cv_max: scores.max,
+            cv_rmse: scores.rmse,
+            cv_ev: scores.ev,
+            cv_r2: scores.r2,
+        });
+        if best.as_ref().is_none_or(|(r2, _)| scores.r2 > *r2) {
+            best = Some((scores.r2, search.best_params));
+        }
+    }
+    let (_, winner) = best.expect("at least one model evaluated");
+
+    // Per-train-circuit holdout quality of the winner: refit on the other
+    // circuits, score on the held-out one (the LOCO folds, reused).
+    let mut train_reports = Vec::with_capacity(circuits.len());
+    for (fold, circuit) in folds.iter().zip(&circuits) {
+        let (train_idx, test_idx) = fold;
+        let ftx: Vec<Vec<f64>> = train_idx.iter().map(|&i| tx[i].clone()).collect();
+        let fty: Vec<f64> = train_idx.iter().map(|&i| ty[i]).collect();
+        let vtx: Vec<Vec<f64>> = test_idx.iter().map(|&i| tx[i].clone()).collect();
+        let vty: Vec<f64> = test_idx.iter().map(|&i| ty[i]).collect();
+        let mut model = winner.build();
+        model.fit(&ftx, &fty);
+        let predictions: Vec<f64> = model
+            .predict(&vtx)
+            .into_iter()
+            .map(|p| p.clamp(0.0, 1.0))
+            .collect();
+        let scores = RegressionScores::compute(&vty, &predictions);
+        let measured_ffr = mean(&vty);
+        let predicted_ffr = mean(&predictions);
+        train_reports.push(TrainCircuitReport {
+            circuit: circuit.spec_string.clone(),
+            fingerprint: circuit.fingerprint.to_string(),
+            measured_ffs: circuit.table.covered().count(),
+            total_ffs: circuit.total_ffs,
+            injections_spent: circuit.table.covered().map(|r| r.injections()).sum(),
+            holdout_mae: scores.mae,
+            holdout_rmse: scores.rmse,
+            holdout_r2: scores.r2,
+            measured_ffr,
+            predicted_ffr,
+            ffr_delta: predicted_ffr - measured_ffr,
+        });
+    }
+
+    // The transfer itself: train on every measured row, predict every
+    // flip-flop of the evaluation circuit from features alone.
+    let mut model = winner.build();
+    model.fit(&tx, &ty);
+    let predictions: Vec<f64> = model
+        .predict(&eval_features.to_rows())
+        .into_iter()
+        .map(|p| p.clamp(0.0, 1.0))
+        .collect();
+    let predicted_ffr = mean(&predictions);
+    let per_ff: Vec<TransferFfRow> = predictions
+        .iter()
+        .enumerate()
+        .map(|(i, &fdr)| TransferFfRow {
+            ff: eval_features.ff_names()[i].clone(),
+            index: i,
+            fdr,
+        })
+        .collect();
+
+    // Measured reference, when the store already holds a table for the
+    // evaluation campaign (e.g. a validation measurement).
+    let reference = store
+        .get::<FdrTable>(ArtifactKind::FdrTable, &eval_fingerprint)?
+        .map(|table| {
+            let covered: Vec<(usize, f64)> =
+                table.covered().map(|r| (r.ff().index(), r.fdr())).collect();
+            let measured: Vec<f64> = covered.iter().map(|&(_, v)| v).collect();
+            let predicted: Vec<f64> = covered.iter().map(|&(i, _)| predictions[i]).collect();
+            let scores = RegressionScores::compute(&measured, &predicted);
+            ReferenceComparison {
+                measured_ffs: covered.len(),
+                measured_ffr: table.circuit_fdr(),
+                mae: scores.mae,
+                rmse: scores.rmse,
+                r2: scores.r2,
+                ffr_delta: predicted_ffr - table.circuit_fdr(),
+            }
+        });
+
+    let report = TransferReport {
+        version: TRANSFER_VERSION,
+        schema: ffr_features::schema_desc(),
+        train: train_reports,
+        eval_circuit: eval_spec,
+        eval_fingerprint: eval_fingerprint.to_string(),
+        eval_total_ffs: eval_prepared.cc.num_ffs(),
+        cv_protocol,
+        cv_seed: options.cv_seed,
+        models: model_reports,
+        best_model: winner.kind().cli_name().to_string(),
+        train_rows: tx.len(),
+        injections_spent: circuits
+            .iter()
+            .map(|c| c.table.covered().map(|r| r.injections()).sum::<usize>())
+            .sum(),
+        eval_injections: 0,
+        predicted_ffr,
+        reference,
+        per_ff,
+    };
+    store.put(ArtifactKind::Transfer, &report_key, &report)?;
+    Ok(TransferSummary {
+        report,
+        report_from_cache: false,
+    })
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptivePolicy;
+    use crate::runner::{CancelToken, RunnerOptions};
+    use crate::spec::CircuitSpec;
+    use ffr_core::ModelKind;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ffr_transfer_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn request(circuit: CircuitSpec, store: &Path) -> RunRequest {
+        RunRequest {
+            circuit,
+            fault: FaultKind::Seu,
+            stim_seed: 1,
+            cycles: 200,
+            seed: 5,
+            policy: AdaptivePolicy::fixed(32),
+            budget: 1.0,
+            checkpoint_every: 16,
+            store: Some(store.to_path_buf()),
+            force: false,
+        }
+    }
+
+    fn run_campaign(req: &RunRequest, out: &Path) {
+        session::run(
+            req,
+            out,
+            &RunnerOptions::default(),
+            &CancelToken::new(),
+            |_, _| {},
+        )
+        .unwrap();
+    }
+
+    fn quick_options(store: &Path) -> EstimateOptions {
+        EstimateOptions {
+            models: vec![ModelKind::LinearLeastSquares, ModelKind::Knn],
+            grid_budget: 1,
+            store: Some(store.to_path_buf()),
+            ..EstimateOptions::default()
+        }
+    }
+
+    fn corpus(id: &str) -> CircuitSpec {
+        CircuitSpec::Corpus { id: id.to_string() }
+    }
+
+    #[test]
+    fn transfer_predicts_unseen_circuit_and_caches() {
+        let store = tmp_dir("basic_store");
+        let train = [
+            request(corpus("fifo2x4"), &store),
+            request(corpus("regfile2x4"), &store),
+        ];
+        for (i, req) in train.iter().enumerate() {
+            run_campaign(req, &tmp_dir(&format!("basic_out{i}")));
+        }
+        let eval = request(corpus("fifo2x8"), &store);
+
+        let options = quick_options(&store);
+        let summary = transfer_from_store(&train, &eval, &options).unwrap();
+        assert!(!summary.report_from_cache);
+        let report = &summary.report;
+        assert_eq!(report.version, TRANSFER_VERSION);
+        assert_eq!(report.train.len(), 2);
+        assert_eq!(report.eval_injections, 0);
+        assert_eq!(report.per_ff.len(), report.eval_total_ffs);
+        assert!(report.per_ff.iter().all(|r| (0.0..=1.0).contains(&r.fdr)));
+        assert!((0.0..=1.0).contains(&report.predicted_ffr));
+        assert_eq!(report.cv_protocol, "loco:2");
+        assert!(report.reference.is_none(), "eval circuit never measured");
+        assert!(report.train_rows >= report.train.iter().map(|t| t.measured_ffs).sum::<usize>());
+
+        // Rerun is cache-served and identical.
+        let summary2 = transfer_from_store(&train, &eval, &options).unwrap();
+        assert!(summary2.report_from_cache);
+        assert_eq!(summary2.report, summary.report);
+
+        // A forced rerun recomputes to the same report (determinism).
+        let forced = EstimateOptions {
+            force: true,
+            ..options
+        };
+        let summary3 = transfer_from_store(&train, &eval, &forced).unwrap();
+        assert!(!summary3.report_from_cache);
+        assert_eq!(summary3.report, summary.report);
+    }
+
+    #[test]
+    fn transfer_reports_reference_when_eval_is_measured() {
+        let store = tmp_dir("ref_store");
+        let train = [
+            request(corpus("fifo2x4"), &store),
+            request(corpus("regfile2x4"), &store),
+        ];
+        for (i, req) in train.iter().enumerate() {
+            run_campaign(req, &tmp_dir(&format!("ref_out{i}")));
+        }
+        let eval = request(corpus("cnt8"), &store);
+        run_campaign(&eval, &tmp_dir("ref_out_eval"));
+
+        let summary = transfer_from_store(&train, &eval, &quick_options(&store)).unwrap();
+        let reference = summary.report.reference.expect("eval was measured");
+        assert!(reference.measured_ffs > 0);
+        assert!(reference.mae >= 0.0);
+        assert!(
+            (summary.report.predicted_ffr - reference.measured_ffr - reference.ffr_delta).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn transfer_rejects_bad_inputs() {
+        let store = tmp_dir("rejects_store");
+        let a = request(corpus("fifo2x4"), &store);
+        let b = request(corpus("regfile2x4"), &store);
+        let options = quick_options(&store);
+
+        // Too few training circuits.
+        let err = transfer_from_store(std::slice::from_ref(&a), &b, &options).unwrap_err();
+        assert!(err.to_string().contains("at least 2"), "{err}");
+        // Eval among train.
+        let err = transfer_from_store(&[a.clone(), b.clone()], &a.clone(), &options).unwrap_err();
+        assert!(err.to_string().contains("unseen circuit"), "{err}");
+        // Duplicate train circuit.
+        let err = transfer_from_store(&[a.clone(), a.clone()], &b, &options).unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+        // Missing table.
+        let err = transfer_from_store(
+            &[a.clone(), b.clone()],
+            &request(corpus("cnt8"), &store),
+            &options,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no FDR table"), "{err}");
+        // SET request.
+        let mut set_req = a;
+        set_req.fault = FaultKind::Set;
+        let err = transfer_from_store(
+            &[set_req, b.clone()],
+            &request(corpus("cnt8"), &store),
+            &options,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("SEU"), "{err}");
+    }
+}

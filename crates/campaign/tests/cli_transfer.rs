@@ -1,0 +1,171 @@
+//! Process-level end-to-end test of cross-circuit transfer estimation:
+//! measure corpus circuits with the real `ffr run` binary, then `ffr
+//! transfer` onto a circuit the models never saw.
+//!
+//! Asserts the three properties the flow is built around:
+//!
+//! * **zero-injection prediction** — the report spends 0 injections on
+//!   the evaluation circuit and still predicts every flip-flop,
+//! * **fixed-seed determinism** — a `--force`d rerun refits every model
+//!   and writes a byte-identical `TransferReport`, and an unforced rerun
+//!   is served from the artifact store, and
+//! * **transfer accuracy** — the predicted circuit FFR lands within a
+//!   documented tolerance of the measured reference (FIFO / register-file
+//!   corpus circuits have genuinely varied FDR populations; observed
+//!   |ΔFFR| ≈ 0.008 and per-FF MAE ≈ 0.05 for this train/eval split).
+
+use ffr_campaign::TransferReport;
+use std::path::Path;
+use std::process::{Command, Stdio};
+
+const FFR: &str = env!("CARGO_BIN_EXE_ffr");
+
+const TRAIN: [&str; 3] = ["corpus:fifo2x4", "corpus:fifo3x4", "corpus:regfile3x4"];
+const EVAL: &str = "corpus:regfile2x4";
+
+fn ffr(args: &[&str]) -> std::process::Output {
+    Command::new(FFR)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn ffr")
+}
+
+fn ffr_ok(args: &[&str]) -> String {
+    let output = ffr(args);
+    assert!(
+        output.status.success(),
+        "`ffr {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Campaign flags shared by every `ffr run` and the `ffr transfer`, so
+/// the transfer resolves exactly the tables the runs measured.
+const CAMPAIGN_FLAGS: [&str; 6] = ["--injections", "24", "--seed", "7", "--cycles", "200"];
+
+fn run_campaign(circuit: &str, out: &Path, store: &Path) {
+    let out_s = out.to_string_lossy().into_owned();
+    let store_s = store.to_string_lossy().into_owned();
+    let mut args = vec![
+        "run",
+        "--circuit",
+        circuit,
+        "--out",
+        &out_s,
+        "--store",
+        &store_s,
+    ];
+    args.extend(CAMPAIGN_FLAGS);
+    args.extend(["--threads", "2"]);
+    ffr_ok(&args);
+}
+
+#[test]
+fn transfer_predicts_unseen_corpus_circuit_reproducibly() {
+    let base = std::env::temp_dir().join(format!("ffr_cli_transfer_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let store = base.join("store");
+    let store_s = store.to_string_lossy().into_owned();
+    let train_list = TRAIN.join(",");
+    let report_path = base.join("transfer.json");
+    let report_s = report_path.to_string_lossy().into_owned();
+
+    // Transfer before any campaign ran misses cleanly.
+    let mut args = vec![
+        "transfer",
+        "--train",
+        &train_list,
+        "--eval",
+        EVAL,
+        "--store",
+        &store_s,
+    ];
+    args.extend(CAMPAIGN_FLAGS);
+    let output = ffr(&args);
+    assert_eq!(output.status.code(), Some(64));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("no FDR table"), "{stderr}");
+
+    // Measure the training circuits — and the evaluation circuit, whose
+    // table serves only as the accuracy reference (the transfer itself
+    // never injects into it).
+    for (i, circuit) in TRAIN.iter().chain([&EVAL]).enumerate() {
+        run_campaign(circuit, &base.join(format!("run{i}")), &store);
+    }
+
+    // First transfer: fits models, predicts, writes the report.
+    let mut transfer_args = args.clone();
+    transfer_args.extend([
+        "--models",
+        "linear,knn,forest",
+        "--grid",
+        "1",
+        "--out",
+        &report_s,
+    ]);
+    let stdout = ffr_ok(&transfer_args);
+    assert!(stdout.contains("predicted FFR"), "{stdout}");
+    assert!(
+        stdout.contains("0 injections on the target"),
+        "zero-injection claim missing: {stdout}"
+    );
+    let first = std::fs::read(&report_path).unwrap();
+    let first_csv = std::fs::read(report_path.with_extension("csv")).unwrap();
+
+    // A --force'd rerun really refits every model; fixed seeds make it
+    // byte-identical.
+    let mut forced = transfer_args.clone();
+    forced.push("--force");
+    ffr_ok(&forced);
+    assert_eq!(
+        first,
+        std::fs::read(&report_path).unwrap(),
+        "transfer report must be byte-identical across forced reruns"
+    );
+    assert_eq!(
+        first_csv,
+        std::fs::read(report_path.with_extension("csv")).unwrap()
+    );
+
+    // An unforced rerun is served from the artifact store.
+    let stdout = ffr_ok(&transfer_args);
+    assert!(stdout.contains("artifact cache"), "{stdout}");
+    assert_eq!(first, std::fs::read(&report_path).unwrap());
+
+    // The report holds together: zero injections on the target, every
+    // flip-flop predicted, sane metrics.
+    let report = TransferReport::load_json(&report_path).unwrap();
+    assert_eq!(report.eval_injections, 0);
+    assert_eq!(report.eval_circuit, EVAL);
+    assert_eq!(report.train.len(), TRAIN.len());
+    assert_eq!(report.per_ff.len(), report.eval_total_ffs);
+    assert!(report.per_ff.iter().all(|r| (0.0..=1.0).contains(&r.fdr)));
+    assert!(report.models.iter().any(|m| m.model == report.best_model));
+    assert_eq!(report.cv_protocol, format!("loco:{}", TRAIN.len()));
+    assert!(report.injections_spent > 0);
+
+    // Transfer accuracy vs the measured reference. The tolerances are
+    // deliberately loose against the observed |ΔFFR| ≈ 0.008 and
+    // MAE ≈ 0.05 (24 injections/FF keeps per-FF measurement noise at
+    // ~0.1), but tight enough that predicting a constant or the wrong
+    // circuit's profile fails.
+    let reference = report.reference.expect("eval circuit was measured");
+    assert!(
+        (report.predicted_ffr - reference.measured_ffr).abs() <= 0.15,
+        "predicted FFR {:.4} strays from measured {:.4}",
+        report.predicted_ffr,
+        reference.measured_ffr
+    );
+    assert!(
+        reference.mae <= 0.20,
+        "per-FF MAE {:.3} exceeds tolerance",
+        reference.mae
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}

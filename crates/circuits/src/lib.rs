@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod components;
+pub mod corpus;
 mod mac10ge;
 mod mac_tb;
 pub mod small;

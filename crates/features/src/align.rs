@@ -1,0 +1,228 @@
+//! Cross-circuit feature alignment.
+//!
+//! Transfer estimation trains one model on the feature matrices of
+//! several circuits and applies it to another. That is only sound when
+//! every matrix was extracted under the *same* feature schema — same
+//! columns, same order, same extractor version. [`check_schema`] verifies
+//! one matrix against the current schema; [`align`] stacks several
+//! per-circuit matrices into a single training matrix with per-row
+//! provenance, refusing mixed schemas instead of silently mis-pairing
+//! columns.
+
+use crate::extract::{schema_desc, FEATURE_NAMES};
+use crate::matrix::FeatureMatrix;
+
+/// Provenance of one stacked row: which circuit and flip-flop it came
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowOrigin {
+    /// Corpus/circuit id of the source matrix.
+    pub circuit: String,
+    /// Flip-flop instance name within that circuit.
+    pub ff_name: String,
+    /// Row index within the source matrix (`FfId` order).
+    pub row: usize,
+}
+
+/// Several per-circuit feature matrices stacked row-wise under one
+/// verified schema.
+#[derive(Debug, Clone)]
+pub struct StackedFeatures {
+    feature_names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+    origins: Vec<RowOrigin>,
+    /// Per-circuit group index of each row, in stacking order — ready for
+    /// grouped cross-validation (leave-one-circuit-out).
+    groups: Vec<usize>,
+    circuits: Vec<String>,
+}
+
+impl StackedFeatures {
+    /// Column names (identical across all source matrices).
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Stacked rows, in source order (circuits in the order given to
+    /// [`align`], rows in `FfId` order within each circuit).
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Per-row provenance, parallel to [`StackedFeatures::rows`].
+    pub fn origins(&self) -> &[RowOrigin] {
+        &self.origins
+    }
+
+    /// Per-row circuit group index (into [`StackedFeatures::circuits`]),
+    /// parallel to [`StackedFeatures::rows`].
+    pub fn groups(&self) -> &[usize] {
+        &self.groups
+    }
+
+    /// Source circuit ids, in stacking order.
+    pub fn circuits(&self) -> &[String] {
+        &self.circuits
+    }
+
+    /// Total number of stacked rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Verify a matrix against the extractor's current schema: the columns
+/// must be exactly [`FEATURE_NAMES`] in order and every value finite.
+///
+/// # Errors
+///
+/// Returns a message naming the first mismatched column (or the
+/// non-finite defect) together with [`schema_desc`], so callers can
+/// surface which side is stale.
+pub fn check_schema(matrix: &FeatureMatrix) -> Result<(), String> {
+    let names = matrix.feature_names();
+    if names.len() != FEATURE_NAMES.len() {
+        return Err(format!(
+            "feature matrix has {} columns, current schema ({}) has {}",
+            names.len(),
+            schema_desc(),
+            FEATURE_NAMES.len()
+        ));
+    }
+    for (i, (have, want)) in names.iter().zip(FEATURE_NAMES.iter()).enumerate() {
+        if have != want {
+            return Err(format!(
+                "feature column {i} is `{have}`, current schema ({}) expects `{want}`",
+                schema_desc()
+            ));
+        }
+    }
+    if !matrix.is_finite() {
+        return Err(format!(
+            "feature matrix contains non-finite values (schema {})",
+            schema_desc()
+        ));
+    }
+    Ok(())
+}
+
+/// Stack per-circuit feature matrices row-wise into one training matrix
+/// with provenance and circuit group labels.
+///
+/// Every matrix is [`check_schema`]-verified first; the stacked order is
+/// the given circuit order, rows in `FfId` order within each circuit.
+///
+/// # Errors
+///
+/// Fails on an empty input, a duplicate circuit id, or any schema
+/// mismatch (the error names the offending circuit).
+pub fn align(matrices: &[(String, FeatureMatrix)]) -> Result<StackedFeatures, String> {
+    if matrices.is_empty() {
+        return Err("no feature matrices to align".to_string());
+    }
+    let mut circuits: Vec<String> = Vec::with_capacity(matrices.len());
+    let mut rows = Vec::new();
+    let mut origins = Vec::new();
+    let mut groups = Vec::new();
+    for (group, (circuit, matrix)) in matrices.iter().enumerate() {
+        if circuits.iter().any(|c| c == circuit) {
+            return Err(format!("circuit `{circuit}` appears twice in alignment"));
+        }
+        check_schema(matrix).map_err(|e| format!("circuit `{circuit}`: {e}"))?;
+        circuits.push(circuit.clone());
+        for row in 0..matrix.num_rows() {
+            rows.push(matrix.row(row).to_vec());
+            origins.push(RowOrigin {
+                circuit: circuit.clone(),
+                ff_name: matrix.ff_names()[row].clone(),
+                row,
+            });
+            groups.push(group);
+        }
+    }
+    Ok(StackedFeatures {
+        feature_names: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        rows,
+        origins,
+        groups,
+        circuits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_matrix(ffs: &[&str], fill: f64) -> FeatureMatrix {
+        let mut m = FeatureMatrix::zeros(
+            ffs.iter().map(|s| s.to_string()).collect(),
+            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        );
+        for r in 0..m.num_rows() {
+            for c in 0..m.num_cols() {
+                m.set(r, c, fill + (r * m.num_cols() + c) as f64);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn schema_check_accepts_current_schema() {
+        assert_eq!(check_schema(&schema_matrix(&["f0"], 0.0)), Ok(()));
+    }
+
+    #[test]
+    fn schema_check_rejects_wrong_columns() {
+        let m = FeatureMatrix::zeros(vec!["f0".into()], vec!["bogus".into()]);
+        let err = check_schema(&m).unwrap_err();
+        assert!(err.contains("1 columns"), "{err}");
+
+        let mut names: Vec<String> = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+        names.swap(0, 1);
+        let m = FeatureMatrix::zeros(vec!["f0".into()], names);
+        let err = check_schema(&m).unwrap_err();
+        assert!(err.contains("column 0"), "{err}");
+    }
+
+    #[test]
+    fn schema_check_rejects_non_finite() {
+        let mut m = schema_matrix(&["f0"], 0.0);
+        m.set(0, 3, f64::NAN);
+        let err = check_schema(&m).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn align_stacks_with_provenance_and_groups() {
+        let a = schema_matrix(&["a0", "a1"], 0.0);
+        let b = schema_matrix(&["b0"], 100.0);
+        let stacked = align(&[("cir_a".into(), a.clone()), ("cir_b".into(), b.clone())]).unwrap();
+        assert_eq!(stacked.num_rows(), 3);
+        assert_eq!(stacked.groups(), &[0, 0, 1]);
+        assert_eq!(
+            stacked.circuits(),
+            &["cir_a".to_string(), "cir_b".to_string()]
+        );
+        assert_eq!(stacked.rows()[0], a.row(0));
+        assert_eq!(stacked.rows()[2], b.row(0));
+        assert_eq!(
+            stacked.origins()[2],
+            RowOrigin {
+                circuit: "cir_b".into(),
+                ff_name: "b0".into(),
+                row: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn align_rejects_duplicates_and_mismatches() {
+        let a = schema_matrix(&["a0"], 0.0);
+        assert!(align(&[]).unwrap_err().contains("no feature matrices"));
+        let err = align(&[("x".into(), a.clone()), ("x".into(), a.clone())]).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+        let bad = FeatureMatrix::zeros(vec!["f".into()], vec!["bogus".into()]);
+        let err = align(&[("x".into(), a), ("y".into(), bad)]).unwrap_err();
+        assert!(err.contains("circuit `y`"), "{err}");
+    }
+}

@@ -19,10 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod align;
 mod extract;
 mod graph;
 mod matrix;
 
+pub use align::{align, check_schema, RowOrigin, StackedFeatures};
 pub use extract::{
     extract_features, extract_structural, schema_desc, FeatureGroup, FEATURE_NAMES, SCHEMA_VERSION,
 };

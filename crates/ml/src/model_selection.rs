@@ -114,6 +114,44 @@ impl StratifiedKFold {
     }
 }
 
+/// Grouped cross-validation: each fold holds out one entire group — the
+/// leave-one-circuit-out protocol of cross-circuit transfer estimation,
+/// where a model must be scored on a circuit it never trained on.
+#[derive(Debug, Clone, Default)]
+pub struct GroupKFold;
+
+impl GroupKFold {
+    /// `(train, test)` index pairs, one fold per distinct group label,
+    /// in order of first appearance. Fold `f`'s test set is exactly the
+    /// indices whose label equals the `f`-th distinct label.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two distinct groups (no held-out fold
+    /// would have disjoint training data).
+    pub fn leave_one_out(groups: &[usize]) -> Vec<(Vec<usize>, Vec<usize>)> {
+        let mut labels: Vec<usize> = Vec::new();
+        for &g in groups {
+            if !labels.contains(&g) {
+                labels.push(g);
+            }
+        }
+        assert!(
+            labels.len() >= 2,
+            "grouped CV needs at least 2 distinct groups, got {}",
+            labels.len()
+        );
+        labels
+            .iter()
+            .map(|&label| {
+                let test: Vec<usize> = (0..groups.len()).filter(|&i| groups[i] == label).collect();
+                let train: Vec<usize> = (0..groups.len()).filter(|&i| groups[i] != label).collect();
+                (train, test)
+            })
+            .collect()
+    }
+}
+
 fn fold_indices(shuffled: &[usize], k: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
     let n = shuffled.len();
     let base = n / k;
@@ -458,6 +496,33 @@ mod tests {
             "an index was tested {:?} times",
             tested.iter().max()
         );
+    }
+
+    #[test]
+    fn group_kfold_holds_out_whole_groups() {
+        let groups = [0usize, 0, 1, 1, 1, 2, 0];
+        let folds = GroupKFold::leave_one_out(&groups);
+        assert_eq!(folds.len(), 3, "one fold per distinct group");
+        assert_exact_partition(&folds, groups.len());
+        for (train, test) in &folds {
+            let held: std::collections::HashSet<usize> = test.iter().map(|&i| groups[i]).collect();
+            assert_eq!(held.len(), 1, "test fold spans one group");
+            let label = *held.iter().next().unwrap();
+            assert!(
+                train.iter().all(|&i| groups[i] != label),
+                "held-out group leaks into training"
+            );
+        }
+        // Fold order follows first appearance of each label.
+        assert_eq!(folds[0].1, vec![0, 1, 6]);
+        assert_eq!(folds[1].1, vec![2, 3, 4]);
+        assert_eq!(folds[2].1, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 distinct groups")]
+    fn group_kfold_rejects_single_group() {
+        let _ = GroupKFold::leave_one_out(&[7, 7, 7]);
     }
 
     #[test]

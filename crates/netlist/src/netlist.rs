@@ -311,6 +311,68 @@ impl Netlist {
         self.outputs.iter().any(|&(_, n)| n == net)
     }
 
+    /// A stable structural hash of the netlist (FNV-1a over a canonical
+    /// walk of cells, connectivity, flip-flops, ports and bus metadata).
+    ///
+    /// Nets are identified by *name* (names are unique), never by their
+    /// internal numbering, so the hash is invariant under net renumbering
+    /// and therefore preserved by a lossless round trip (e.g. through
+    /// [`crate::verilog`], whose parser re-interns nets in a different
+    /// order). Anything else — names, cell order, port order, init
+    /// values, bus membership — is hashed exactly, making this a cheap
+    /// fingerprint for corpus catalogs and artifact keys.
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            // Length-prefix-free framing: a sentinel byte between fields.
+            h ^= 0xff;
+            h = h.wrapping_mul(PRIME);
+        };
+        let net_name = |id: NetId| self.nets[id.index()].name.as_bytes();
+        eat(self.name.as_bytes());
+        // The net-name *set*, order-independently: sorted.
+        let mut names: Vec<&str> = self.nets.iter().map(|n| n.name.as_str()).collect();
+        names.sort_unstable();
+        for name in names {
+            eat(name.as_bytes());
+        }
+        for cell in &self.cells {
+            eat(cell.name.as_bytes());
+            eat(cell.kind.library_name().as_bytes());
+            eat(&[cell.drive as u8]);
+            for &input in &cell.inputs {
+                eat(net_name(input));
+            }
+            eat(net_name(cell.output));
+        }
+        for &input in &self.inputs {
+            eat(net_name(input));
+        }
+        for (name, net) in &self.outputs {
+            eat(name.as_bytes());
+            eat(net_name(*net));
+        }
+        for &ff in &self.ffs {
+            eat(self.cells[ff.index()].name.as_bytes());
+        }
+        for &init in &self.ff_init {
+            eat(&[u8::from(init)]);
+        }
+        for bus in &self.buses {
+            eat(bus.name.as_bytes());
+            for &ff in &bus.ffs {
+                eat(self.cells[self.ffs[ff.index()].index()].name.as_bytes());
+            }
+        }
+        h
+    }
+
     /// Find a net by name.
     pub fn find_net(&self, name: &str) -> Option<NetId> {
         self.nets

@@ -9,6 +9,7 @@
 //! outputs outside the cone are golden by construction
 //! ([`Cone::may_differ`]) and are compared against the golden trace.
 
+use ffr_circuits::corpus::CorpusSpec;
 use ffr_netlist::{Bus, FfId, NetId, NetlistBuilder};
 use ffr_sim::{
     CompiledCircuit, Cone, FaultSite, FrontierScratch, GoldenRun, InputFrame, NetJournal, SimState,
@@ -58,6 +59,31 @@ impl Stimulus for MixStimulus {
     }
 }
 
+/// Input-count-generic deterministic stimulus for arbitrary (corpus)
+/// circuits: every input bit is a hash of `(cycle, bit)`.
+struct HashStimulus {
+    inputs: usize,
+    cycles: u64,
+}
+
+impl Stimulus for HashStimulus {
+    fn num_cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn drive(&self, cycle: u64, frame: &mut InputFrame) {
+        for bit in 0..self.inputs {
+            let mut x = cycle
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((bit as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            x ^= x >> 31;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 29;
+            frame.set(bit, x & 1 == 1);
+        }
+    }
+}
+
 #[derive(Clone, Copy)]
 enum Target {
     Seu(FfId),
@@ -71,6 +97,147 @@ fn set_targets(cc: &CompiledCircuit) -> Vec<NetId> {
     targets.extend((0..cc.num_ffs()).map(|i| cc.netlist().ff_q_net(FfId::from_index(i))));
     targets.extend(cc.netlist().primary_inputs().iter().copied());
     targets
+}
+
+/// The three-way equivalence check shared by the hand-built and corpus
+/// property tests: full batch ≡ static cone ≡ event-driven frontier,
+/// compared on watched outputs, convergence diffs and packed states.
+fn assert_three_way(
+    cc: &CompiledCircuit,
+    stim: &impl Stimulus,
+    seu: bool,
+    pick: usize,
+    raw_times: &[u64],
+    cycles: u64,
+) {
+    let watch = WatchList::all(cc);
+    let golden = GoldenRun::capture(cc, &stim, &watch);
+    let netj = NetJournal::capture(cc, &stim);
+
+    let (cone, target): (Cone, Target) = if seu {
+        let ff = FfId::from_index(pick % cc.num_ffs());
+        (cc.ff_cone(ff), Target::Seu(ff))
+    } else {
+        let nets = set_targets(cc);
+        let net = nets[pick % nets.len()];
+        (cc.net_cone(net), Target::Set(cc.fault_site(net)))
+    };
+    prop_assert!(cone.num_ops() <= cc.num_ops());
+    prop_assert!(cone.num_ffs() <= cc.num_ffs());
+
+    let times: Vec<u64> = raw_times.iter().map(|t| t % cycles).collect();
+    let t0 = *times.iter().min().unwrap();
+
+    let mut full = golden.restore(cc, t0);
+    let mut frame = InputFrame::new(cc.num_inputs());
+    let mut cstate = SimState::new(cc);
+    cstate.load_cone_state_broadcast(&cone, golden.journal.state_at(t0));
+    cstate.set_cycle(t0);
+    // Third contender: event-driven frontier evaluation. No state is
+    // loaded at all — everything is golden (= clean) until the first
+    // injection seeds the worklist.
+    let mut fstate = SimState::new(cc);
+    let mut fs = FrontierScratch::new();
+    fs.attach(&cone);
+    fstate.set_cycle(t0);
+
+    for cycle in t0..cycles {
+        frame.clear();
+        stim.drive(cycle, &mut frame);
+        frame.apply(cc, &mut full);
+        let row = netj.row(cycle);
+        cstate.load_boundary(&cone, row);
+
+        let mut mask = 0u64;
+        for (lane, &t) in times.iter().enumerate() {
+            if t == cycle {
+                mask |= 1u64 << lane;
+            }
+        }
+        match target {
+            Target::Seu(ff) => {
+                if mask != 0 {
+                    full.flip_ff(cc, ff, mask);
+                    cstate.flip_ff(cc, ff, mask);
+                    fstate.flip_frontier(&cone, &mut fs, row, mask);
+                }
+                full.eval(cc);
+                cstate.eval_cone(&cone);
+                fstate.eval_frontier(&cone, &mut fs, row);
+            }
+            Target::Set(site) => {
+                if mask != 0 {
+                    full.eval_forced_site(cc, site, mask);
+                    cstate.eval_forced_cone(&cone, mask);
+                    fstate.eval_forced_frontier(&cone, &mut fs, row, mask);
+                } else {
+                    full.eval(cc);
+                    cstate.eval_cone(&cone);
+                    fstate.eval_frontier(&cone, &mut fs, row);
+                }
+            }
+        }
+
+        // Watched outputs agree: in-cone outputs from the cone state,
+        // out-of-cone outputs are provably golden.
+        for (w, &po) in watch.indices().iter().enumerate() {
+            let want = full.output_word(cc, po);
+            let got = if cone.may_differ(cc.output_net(po)) {
+                cstate.output_word(cc, po)
+            } else {
+                golden.trace.word(w, cycle)
+            };
+            prop_assert_eq!(want, got, "output {} at cycle {}", w, cycle);
+            // Frontier: only dirty nets can deviate; clean or
+            // out-of-cone outputs are golden by construction.
+            let net = cc.output_net(po);
+            let fgot = if cone.may_differ(net) && fs.net_dirty(net) {
+                fstate.output_word(cc, po)
+            } else {
+                golden.trace.word(w, cycle)
+            };
+            prop_assert_eq!(want, fgot, "frontier output {} at cycle {}", w, cycle);
+        }
+
+        full.tick(cc);
+        cstate.tick_cone(&cone);
+
+        let next = cycle + 1;
+        let fdiff = fstate.tick_frontier(
+            &cone,
+            &mut fs,
+            if next < cycles {
+                Some(netj.row(next))
+            } else {
+                None
+            },
+        );
+        if next < cycles {
+            let packed = golden.journal.state_at(next);
+            // Convergence detection sees identical lane diffs — the
+            // frontier derives its mask from the latch loop alone.
+            prop_assert_eq!(
+                full.diff_lanes(cc, packed),
+                cstate.diff_lanes_cone(&cone, packed),
+                "diff mask entering cycle {}",
+                next
+            );
+            prop_assert_eq!(
+                full.diff_lanes(cc, packed),
+                fdiff,
+                "frontier diff mask entering cycle {}",
+                next
+            );
+            // Overlaying the cone flip-flops on the golden row
+            // reconstructs the full packed state of any lane.
+            let lane = times.len() - 1;
+            let mut want = Vec::new();
+            full.pack_ff_state(cc, lane, &mut want);
+            let mut got = packed.to_vec();
+            cstate.pack_ff_state_cone(&cone, lane, &mut got);
+            prop_assert_eq!(want, got, "packed overlay entering cycle {}", next);
+        }
+    }
 }
 
 proptest! {
@@ -91,127 +258,28 @@ proptest! {
     ) {
         let cc = circuit(width);
         let stim = MixStimulus { width, cycles };
-        let watch = WatchList::all(&cc);
-        let golden = GoldenRun::capture(&cc, &stim, &watch);
-        let netj = NetJournal::capture(&cc, &stim);
+        assert_three_way(&cc, &stim, seu, pick, &raw_times, cycles);
+    }
 
-        let (cone, target): (Cone, Target) = if seu {
-            let ff = FfId::from_index(pick % cc.num_ffs());
-            (cc.ff_cone(ff), Target::Seu(ff))
-        } else {
-            let nets = set_targets(&cc);
-            let net = nets[pick % nets.len()];
-            (cc.net_cone(net), Target::Set(cc.fault_site(net)))
-        };
-        prop_assert!(cone.num_ops() <= cc.num_ops());
-        prop_assert!(cone.num_ffs() <= cc.num_ffs());
-
-        let times: Vec<u64> = raw_times.iter().map(|t| t % cycles).collect();
-        let t0 = *times.iter().min().unwrap();
-
-        let mut full = golden.restore(&cc, t0);
-        let mut frame = InputFrame::new(cc.num_inputs());
-        let mut cstate = SimState::new(&cc);
-        cstate.load_cone_state_broadcast(&cone, golden.journal.state_at(t0));
-        cstate.set_cycle(t0);
-        // Third contender: event-driven frontier evaluation. No state is
-        // loaded at all — everything is golden (= clean) until the first
-        // injection seeds the worklist.
-        let mut fstate = SimState::new(&cc);
-        let mut fs = FrontierScratch::new();
-        fs.attach(&cone);
-        fstate.set_cycle(t0);
-
-        for cycle in t0..cycles {
-            frame.clear();
-            stim.drive(cycle, &mut frame);
-            frame.apply(&cc, &mut full);
-            let row = netj.row(cycle);
-            cstate.load_boundary(&cone, row);
-
-            let mut mask = 0u64;
-            for (lane, &t) in times.iter().enumerate() {
-                if t == cycle {
-                    mask |= 1u64 << lane;
-                }
-            }
-            match target {
-                Target::Seu(ff) => {
-                    if mask != 0 {
-                        full.flip_ff(&cc, ff, mask);
-                        cstate.flip_ff(&cc, ff, mask);
-                        fstate.flip_frontier(&cone, &mut fs, row, mask);
-                    }
-                    full.eval(&cc);
-                    cstate.eval_cone(&cone);
-                    fstate.eval_frontier(&cone, &mut fs, row);
-                }
-                Target::Set(site) => {
-                    if mask != 0 {
-                        full.eval_forced_site(&cc, site, mask);
-                        cstate.eval_forced_cone(&cone, mask);
-                        fstate.eval_forced_frontier(&cone, &mut fs, row, mask);
-                    } else {
-                        full.eval(&cc);
-                        cstate.eval_cone(&cone);
-                        fstate.eval_frontier(&cone, &mut fs, row);
-                    }
-                }
-            }
-
-            // Watched outputs agree: in-cone outputs from the cone state,
-            // out-of-cone outputs are provably golden.
-            for (w, &po) in watch.indices().iter().enumerate() {
-                let want = full.output_word(&cc, po);
-                let got = if cone.may_differ(cc.output_net(po)) {
-                    cstate.output_word(&cc, po)
-                } else {
-                    golden.trace.word(w, cycle)
-                };
-                prop_assert_eq!(want, got, "output {} at cycle {}", w, cycle);
-                // Frontier: only dirty nets can deviate; clean or
-                // out-of-cone outputs are golden by construction.
-                let net = cc.output_net(po);
-                let fgot = if cone.may_differ(net) && fs.net_dirty(net) {
-                    fstate.output_word(&cc, po)
-                } else {
-                    golden.trace.word(w, cycle)
-                };
-                prop_assert_eq!(want, fgot, "frontier output {} at cycle {}", w, cycle);
-            }
-
-            full.tick(&cc);
-            cstate.tick_cone(&cone);
-
-            let next = cycle + 1;
-            let fdiff = fstate.tick_frontier(
-                &cone,
-                &mut fs,
-                if next < cycles { Some(netj.row(next)) } else { None },
-            );
-            if next < cycles {
-                let packed = golden.journal.state_at(next);
-                // Convergence detection sees identical lane diffs — the
-                // frontier derives its mask from the latch loop alone.
-                prop_assert_eq!(
-                    full.diff_lanes(&cc, packed),
-                    cstate.diff_lanes_cone(&cone, packed),
-                    "diff mask entering cycle {}", next
-                );
-                prop_assert_eq!(
-                    full.diff_lanes(&cc, packed),
-                    fdiff,
-                    "frontier diff mask entering cycle {}", next
-                );
-                // Overlaying the cone flip-flops on the golden row
-                // reconstructs the full packed state of any lane.
-                let lane = times.len() - 1;
-                let mut want = Vec::new();
-                full.pack_ff_state(&cc, lane, &mut want);
-                let mut got = packed.to_vec();
-                cstate.pack_ff_state_cone(&cone, lane, &mut got);
-                prop_assert_eq!(want, got, "packed overlay entering cycle {}", next);
-            }
-        }
+    /// Corpus-wide conformance: the same three-way equivalence holds over
+    /// *arbitrary generated corpus circuits* — `CorpusSpec::sampled` maps
+    /// free integers onto every generator family (counters, LFSR
+    /// pipelines, ALUs, FIFOs, CRCs, register files, seeded mixes), so
+    /// shrinking walks both circuit structure and injection placement.
+    #[test]
+    fn corpus_cone_batch_equals_full_batch(
+        kind in 0usize..7,
+        size_a in any::<usize>(),
+        size_b in any::<usize>(),
+        structure_seed in any::<u64>(),
+        seu in any::<bool>(),
+        pick in 0usize..64,
+        raw_times in proptest::collection::vec(0u64..1000, 1..12),
+        cycles in 24u64..40,
+    ) {
+        let spec = CorpusSpec::sampled(kind, size_a, size_b, structure_seed);
+        let cc = CompiledCircuit::compile(spec.build()).unwrap();
+        let stim = HashStimulus { inputs: cc.num_inputs(), cycles };
+        assert_three_way(&cc, &stim, seu, pick, &raw_times, cycles);
     }
 }
